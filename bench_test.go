@@ -1,0 +1,237 @@
+// Benchmarks regenerating every table, figure, and quantitative claim of
+// the paper (one benchmark per experiment ID in DESIGN.md), plus
+// micro-benchmarks for the load-bearing primitives. Run with:
+//
+//	go test -bench=. -benchmem
+package iotml
+
+import (
+	"testing"
+
+	"repro/internal/boolat"
+	"repro/internal/chains"
+	"repro/internal/combinat"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/kernelmachine"
+	"repro/internal/mkl"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+func runTable(b *testing.B, f func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t == nil || len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// E1 — Table I.
+func BenchmarkTable1_ChainDecompositionPi4(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.Table1(), nil })
+}
+
+// E2 — Figure 2.
+func BenchmarkFigure2_PartitionLattice4(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.Figure2(), nil })
+}
+
+// E3 — in-text rough-set example.
+func BenchmarkExample_RoughSetPhones(b *testing.B) {
+	runTable(b, experiments.RoughExample)
+}
+
+// E4 — exploration cost series (exhaustive vs chain vs greedy).
+func BenchmarkClaim_SearchCost(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.SearchCost(7) })
+}
+
+// E5 — lattice asymmetry counting claim.
+func BenchmarkClaim_LatticeAsymmetry(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.LatticeAsymmetry(14), nil })
+}
+
+// E6 — LDD coverage guarantee.
+func BenchmarkClaim_ChainCoverage(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.ChainCoverage(6) })
+}
+
+// E7 — headline MKL comparison.
+func BenchmarkHeadline_MKLFacets(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.HeadlineMKL(1) })
+}
+
+// E8 — rough-set seeding objectives.
+func BenchmarkClaim_RoughSeeding(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.RoughSeeding(1) })
+}
+
+// E9 — single-player missing-data tradeoff.
+func BenchmarkClaim_SinglePlayerTradeoff(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.SinglePlayerTradeoff(1) })
+}
+
+// E10 — pipeline game regimes.
+func BenchmarkClaim_PipelineGame(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.PipelineGameExperiment(1) })
+}
+
+// E11 — zero-sum GAN convergence.
+func BenchmarkClaim_ZeroSumGAN(b *testing.B) {
+	runTable(b, experiments.ZeroSumGAN)
+}
+
+// E12 — time-stamp merge integration sweep.
+func BenchmarkClaim_TimestampMerge(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.TimestampMerge(1) })
+}
+
+// E13 — multi-view family comparison.
+func BenchmarkClaim_MultiViewFamily(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.MultiViewFamily(1) })
+}
+
+// E14 — object-surface workload.
+func BenchmarkClaim_ObjectSurface(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.ObjectSurface(1) })
+}
+
+// E15 — prediction veracity vs pipeline transparency.
+func BenchmarkClaim_Veracity(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.Veracity(1) })
+}
+
+// A1 — combiner ablation.
+func BenchmarkAblation_Combiner(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.AblationCombiner(1) })
+}
+
+// A2 — ascent rule ablation.
+func BenchmarkAblation_AscentRule(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.AblationAscentRule(1) })
+}
+
+// A3 — equilibrium solver ablation.
+func BenchmarkAblation_EquilibriumSolver(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.AblationEquilibriumSolver(1) })
+}
+
+// A4 — chain source ablation.
+func BenchmarkAblation_ChainSource(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) { return experiments.AblationChainSource(1) })
+}
+
+// --- micro-benchmarks for the primitives the experiments lean on ---
+
+func BenchmarkMicro_DeBruijnSCD_B12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(boolat.DeBruijnSCD(12)); got == 0 {
+			b.Fatal("empty decomposition")
+		}
+	}
+}
+
+func BenchmarkMicro_LDDDecompose_Pi7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := chains.Decompose(6)
+		if len(d.Groups) == 0 {
+			b.Fatal("empty decomposition")
+		}
+	}
+}
+
+func BenchmarkMicro_PartitionAll_n9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(partition.All(9)); got != 21147 {
+			b.Fatalf("got %d partitions", got)
+		}
+	}
+}
+
+func BenchmarkMicro_PartitionMeetJoin(b *testing.B) {
+	all := partition.All(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := all[i%len(all)]
+		q := all[(i*7+13)%len(all)]
+		_ = p.Meet(q)
+		_ = p.Join(q)
+	}
+}
+
+func BenchmarkMicro_Bell25(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = combinat.Bell(25)
+	}
+}
+
+func BenchmarkMicro_GramRBF_200x18(b *testing.B) {
+	d := dataset.SyntheticBiometric(dataset.DefaultBiometricConfig(), stats.NewRNG(1))
+	k := kernel.RBF{Gamma: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kernel.Gram(k, d.X)
+	}
+}
+
+func BenchmarkMicro_SVMTrain_100(b *testing.B) {
+	rng := stats.NewRNG(2)
+	x := make([][]float64, 100)
+	y := make([]int, 100)
+	for i := range x {
+		y[i] = 1
+		if i%2 == 0 {
+			y[i] = -1
+		}
+		x[i] = []float64{float64(y[i]) + rng.NormFloat64()*0.5, rng.NormFloat64()}
+	}
+	gram := kernel.Gram(kernel.RBF{Gamma: 1}, x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (kernelmachine.SVM{C: 1}).Train(gram, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_RidgeTrain_200(b *testing.B) {
+	rng := stats.NewRNG(3)
+	x := make([][]float64, 200)
+	y := make([]int, 200)
+	for i := range x {
+		y[i] = 1
+		if i%2 == 0 {
+			y[i] = -1
+		}
+		x[i] = []float64{float64(y[i]) + rng.NormFloat64()*0.5, rng.NormFloat64()}
+	}
+	gram := kernel.Gram(kernel.RBF{Gamma: 1}, x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (kernelmachine.Ridge{}).Train(gram, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_ChainSearch_18features(b *testing.B) {
+	d := dataset.SyntheticBiometric(dataset.DefaultBiometricConfig(), stats.NewRNG(4))
+	d.Standardize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := mkl.NewEvaluator(d, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mkl.ChainSearch(e, partition.Coarsest(d.D()), mkl.BestOfChain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command iotml regenerates the paper's tables, figures, and quantitative
+// claims.
+//
+// Usage:
+//
+//	iotml list               list the experiment catalogue
+//	iotml run all [--fast]   run every experiment (--fast skips expensive ones)
+//	iotml run E7             run one experiment by id
+//	iotml table1             print Table I (alias for run E1)
+//	iotml figure2 [--dot]    print Figure 2 (or its DOT rendering)
+//	iotml debruijn <n>       print the de Bruijn SCD of B_n
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iotml:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		for _, r := range experiments.All() {
+			tag := ""
+			if r.Expensive {
+				tag = "  (expensive)"
+			}
+			fmt.Printf("  %-4s %s%s\n", r.ID, r.Title, tag)
+		}
+		return nil
+	case "run":
+		if len(args) < 2 {
+			return fmt.Errorf("run needs an experiment id or 'all'")
+		}
+		if args[1] == "all" {
+			fast := len(args) > 2 && args[2] == "--fast"
+			for _, r := range experiments.All() {
+				if fast && r.Expensive {
+					fmt.Printf("%s — skipped (--fast)\n\n", r.ID)
+					continue
+				}
+				if err := runOne(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		r, ok := experiments.ByID(args[1])
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'iotml list')", args[1])
+		}
+		return runOne(r)
+	case "table1":
+		fmt.Println(experiments.Table1())
+		return nil
+	case "figure2":
+		if len(args) > 1 && args[1] == "--dot" {
+			fmt.Print(experiments.FigureLatticeDOT(4))
+			return nil
+		}
+		fmt.Println(experiments.Figure2())
+		return nil
+	case "debruijn":
+		n := 3
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v < 0 || v > 16 {
+				return fmt.Errorf("debruijn needs n in [0,16]")
+			}
+			n = v
+		}
+		fmt.Println(experiments.DeBruijnTable(n))
+		return nil
+	case "-h", "--help", "help":
+		usage()
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try 'iotml help')", args[0])
+	}
+}
+
+func runOne(r experiments.Runner) error {
+	tab, err := r.Run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", r.ID, err)
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+func usage() {
+	fmt.Println(`iotml — reproduction harness for "Toward IoT-Friendly Learning Models" (ICDCS 2018)
+
+commands:
+  list               list the experiment catalogue
+  run all [--fast]   run every experiment (--fast skips expensive ones)
+  run <id>           run one experiment (e.g. run E7)
+  table1             print the paper's Table I
+  figure2 [--dot]    print the paper's Figure 2 (optionally as GraphViz DOT)
+  debruijn <n>       print the de Bruijn symmetric chain decomposition of B_n`)
+}

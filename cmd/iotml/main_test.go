@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunDispatch(t *testing.T) {
+	// Cheap commands must succeed.
+	for _, args := range [][]string{
+		nil,
+		{"help"},
+		{"list"},
+		{"table1"},
+		{"figure2"},
+		{"figure2", "--dot"},
+		{"debruijn"},
+		{"debruijn", "4"},
+		{"run", "E1"},
+		{"run", "E3"},
+		{"run", "E5"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) failed: %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"bogus"},
+		{"run"},
+		{"run", "E999"},
+		{"debruijn", "nope"},
+		{"debruijn", "99"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Sensornet: the Section IV data-integration story — sample a
+// desynchronized environmental sensor fleet, merge time-stamps into records
+// "typically plagued by missing feature-values", prepare them through the
+// pipeline, and print the uncertainty ledger that grounds (or breaks) the
+// chain of trust.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/impute"
+	"repro/internal/pipeline"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+)
+
+func main() {
+	for _, desync := range []float64{0.0, 0.5, 1.0} {
+		fmt.Printf("=== fleet desynchronization %.1f ===\n", desync)
+		fleet := sensors.EnvironmentalFleet(desync)
+		streams, err := sensors.SampleFleet(fleet, 240, stats.NewRNG(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range streams {
+			fmt.Printf("  %-9s %-12s %4d readings\n", s.Device, s.Quantity, len(s.Readings))
+		}
+
+		// The tracked pipeline: merge, clean, interpolate with bias probing.
+		p := &pipeline.Pipeline{Stages: []pipeline.Stage{
+			pipeline.MergeStage{Streams: streams, Tolerance: 0.05},
+			pipeline.CleanStage{ZThreshold: 4},
+			pipeline.InterpolateStage{TrackBias: true},
+		}}
+		res, err := p.Run(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s", res.Ledger)
+		fmt.Printf("  reconstruction RMSE vs ground truth: %.3f\n",
+			pipeline.ReconstructionRMSE(res.Data, fleet))
+
+		// The cheap pipeline: untracked mean imputation breaks the chain.
+		cheap := &pipeline.Pipeline{Stages: []pipeline.Stage{
+			pipeline.MergeStage{Streams: streams, Tolerance: 0.05},
+			pipeline.ImputeStage{Imputer: impute.Mean{}, TrackBias: false},
+		}}
+		resCheap, err := cheap.Run(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncheap pipeline (untracked mean imputation):\n%s", resCheap.Ledger)
+		fmt.Printf("  reconstruction RMSE vs ground truth: %.3f\n\n",
+			pipeline.ReconstructionRMSE(resCheap.Data, fleet))
+	}
+}

@@ -1,0 +1,296 @@
+// Package adversarial instantiates the paper's Section IV thesis — "the
+// adversarial component is present all along the data acquisition and
+// processing pipeline" — as two concrete games:
+//
+//   - PipelineGame: the preprocessor player (choosing an imputation effort)
+//     and the analytics player (choosing a learner) have compatible but
+//     non-aligned utilities: both gain from prediction quality, but the
+//     preprocessor alone pays the preprocessing cost and the analytics
+//     player alone pays the modelling cost. Payoff matrices are built by
+//     actually running the pipeline on a sensor workload, so equilibria
+//     reflect real interactions, and the gap between the social optimum
+//     and the Nash outcome measures the price of misalignment (E10).
+//
+//   - GANGame: the zero-sum special case of ref [5], discretized: a
+//     generator picks the mean of a unit-variance Gaussian from a grid,
+//     a discriminator picks a threshold classifier from a grid, and the
+//     payoff to the discriminator is its Bayes accuracy (computable in
+//     closed form). Fictitious play drives the discriminator's value to
+//     1/2 and concentrates the generator on the true mean (E11).
+package adversarial
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/game"
+	"repro/internal/impute"
+	"repro/internal/pipeline"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+	"repro/internal/tree"
+
+	"repro/internal/dataset"
+)
+
+// PreprocOption is one preprocessor strategy: an imputation pipeline stage
+// and its operating cost (staff time, compute, latency — abstracted to one
+// scalar).
+type PreprocOption struct {
+	Name  string
+	Stage pipeline.Stage
+	Cost  float64
+}
+
+// AnalyticsOption is one analytics strategy: a missing-data learning
+// strategy and its modelling cost.
+type AnalyticsOption struct {
+	Name     string
+	Strategy tree.Strategy
+	Cost     float64
+}
+
+// DefaultPreprocOptions returns the preprocessor's menu, ordered by effort.
+func DefaultPreprocOptions() []PreprocOption {
+	return []PreprocOption{
+		{Name: "none", Stage: nil, Cost: 0},
+		{Name: "mean", Stage: pipeline.ImputeStage{Imputer: impute.Mean{}, TrackBias: false}, Cost: 0.02},
+		{Name: "interpolate", Stage: pipeline.InterpolateStage{TrackBias: false}, Cost: 0.08},
+		{Name: "interpolate+track", Stage: pipeline.InterpolateStage{TrackBias: true}, Cost: 0.12},
+	}
+}
+
+// DefaultAnalyticsOptions returns the analytics player's menu.
+func DefaultAnalyticsOptions() []AnalyticsOption {
+	return []AnalyticsOption{
+		{Name: "tree(impute)", Strategy: tree.ImputeThenLearn{Imputer: impute.Mean{}}, Cost: 0.01},
+		{Name: "per-pattern", Strategy: tree.PerPatternEnsemble{MaxPatterns: 8}, Cost: 0.06},
+	}
+}
+
+// PipelineGame holds the built game plus the quality matrix it was derived
+// from.
+type PipelineGame struct {
+	Game        *game.Bimatrix
+	Quality     [][]float64 // raw task quality per (preproc, analytics) pair
+	PreprocOps  []PreprocOption
+	AnalyticOps []AnalyticsOption
+	// QualityShare splits the quality reward between the players:
+	// preprocessor receives share*quality, analytics (1-share)*quality.
+	QualityShare float64
+}
+
+// PipelineGameConfig parameterizes the workload and utilities.
+type PipelineGameConfig struct {
+	Desync       float64 // sensor desynchronization in [0,1] (default 0.8)
+	Horizon      float64 // sampling horizon (default 240)
+	Seed         int64
+	QualityShare float64 // preprocessor share of quality (default 0.35)
+	Preproc      []PreprocOption
+	Analytics    []AnalyticsOption
+}
+
+func (c PipelineGameConfig) withDefaults() PipelineGameConfig {
+	if c.Desync <= 0 {
+		c.Desync = 0.8
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 240
+	}
+	if c.QualityShare <= 0 || c.QualityShare >= 1 {
+		c.QualityShare = 0.35
+	}
+	if c.Preproc == nil {
+		c.Preproc = DefaultPreprocOptions()
+	}
+	if c.Analytics == nil {
+		c.Analytics = DefaultAnalyticsOptions()
+	}
+	return c
+}
+
+// BuildPipelineGame measures task quality for every strategy pair on a
+// synthetic sensor workload and assembles the bimatrix game.
+//
+// The downstream task: predict whether the (ground-truth) temperature field
+// is above its median from the merged (and possibly imputed) records —
+// a realistic "analytics on reconstructed data" objective whose accuracy
+// depends on both players' choices.
+func BuildPipelineGame(cfg PipelineGameConfig) (*PipelineGame, error) {
+	cfg = cfg.withDefaults()
+	fleet := sensors.EnvironmentalFleet(cfg.Desync)
+	streams, err := sensors.SampleFleet(fleet, cfg.Horizon, stats.NewRNG(cfg.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+
+	np, na := len(cfg.Preproc), len(cfg.Analytics)
+	quality := make([][]float64, np)
+	payA := make([][]float64, np)
+	payB := make([][]float64, np)
+	for i, po := range cfg.Preproc {
+		quality[i] = make([]float64, na)
+		payA[i] = make([]float64, na)
+		payB[i] = make([]float64, na)
+		stages := []pipeline.Stage{pipeline.MergeStage{Streams: streams, Tolerance: 0.05}}
+		if po.Stage != nil {
+			stages = append(stages, po.Stage)
+		}
+		p := &pipeline.Pipeline{Stages: stages}
+		res, err := p.Run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("adversarial: preproc %q: %w", po.Name, err)
+		}
+		ds, err := recordsToTask(res.Data, fleet)
+		if err != nil {
+			return nil, fmt.Errorf("adversarial: preproc %q: %w", po.Name, err)
+		}
+		train, test := splitHalf(ds, cfg.Seed+2)
+		for j, ao := range cfg.Analytics {
+			pt, err := tree.Evaluate(ao.Strategy, train, test, tree.Params{})
+			if err != nil {
+				return nil, fmt.Errorf("adversarial: %q/%q: %w", po.Name, ao.Name, err)
+			}
+			quality[i][j] = pt.Accuracy
+			payA[i][j] = cfg.QualityShare*pt.Accuracy - po.Cost
+			payB[i][j] = (1-cfg.QualityShare)*pt.Accuracy - ao.Cost
+		}
+	}
+	g, err := game.NewBimatrix(payA, payB)
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineGame{
+		Game: g, Quality: quality,
+		PreprocOps: cfg.Preproc, AnalyticOps: cfg.Analytics,
+		QualityShare: cfg.QualityShare,
+	}, nil
+}
+
+// recordsToTask labels merged sensor records by whether the ground-truth
+// temperature exceeds its median, yielding a classification dataset whose
+// feature quality depends on the preprocessing choices.
+func recordsToTask(d *pipeline.Data, fleet []sensors.Device) (*dataset.Dataset, error) {
+	if len(d.X) == 0 {
+		return nil, fmt.Errorf("adversarial: no records")
+	}
+	truth := sensors.GroundTruth(fleet, d.Times)
+	temps := make([]float64, len(truth))
+	for i := range truth {
+		temps[i] = truth[i][0]
+	}
+	med := stats.Median(temps)
+	out := &dataset.Dataset{}
+	for i := range d.X {
+		y := -1
+		if temps[i] > med {
+			y = 1
+		}
+		// Features: humidity and wind records (columns 1, 2) — predicting
+		// temperature state from the other quantities forces real use of
+		// the reconstructed cells.
+		out.X = append(out.X, []float64{d.X[i][1], d.X[i][2]})
+		out.Y = append(out.Y, y)
+		if d.Mask != nil {
+			out.Missing = append(out.Missing, []bool{d.Mask[i][1], d.Mask[i][2]})
+		}
+	}
+	return out, nil
+}
+
+func splitHalf(d *dataset.Dataset, seed int64) (train, test *dataset.Dataset) {
+	tr, te := stats.TrainTestSplit(d.N(), 0.6, stats.NewRNG(seed))
+	return d.Subset(tr), d.Subset(te)
+}
+
+// Outcome summarizes the three governance regimes of Section IV on one
+// game: the single-player optimum, the simultaneous Nash outcome, and the
+// sequential imperfect-information outcome.
+type Outcome struct {
+	OptRow, OptCol      int
+	OptWelfare          float64
+	NashRow, NashCol    int
+	NashWelfare         float64
+	NashConverged       bool
+	SeqLeader           int
+	SeqWelfare          float64
+	PriceOfMisalignment float64
+}
+
+// Analyze computes the outcome comparison for the built game; signalEps
+// controls how observable the preprocessor's choice is to the analytics
+// player in the sequential variant (0 = fully observed).
+func (pg *PipelineGame) Analyze(signalEps float64) (*Outcome, error) {
+	g := pg.Game
+	out := &Outcome{}
+	out.OptRow, out.OptCol, out.OptWelfare = g.SocialOptimum()
+	r, c, conv := g.IteratedBestResponse(0, 0, 200)
+	out.NashRow, out.NashCol, out.NashConverged = r, c, conv
+	out.NashWelfare = g.A[r][c] + g.B[r][c]
+	out.PriceOfMisalignment = g.PriceOfMisalignment()
+
+	sg, err := game.NewSequentialGame(g, game.NoisySignal(g.Rows(), signalEps))
+	if err != nil {
+		return nil, err
+	}
+	sol := sg.Solve(200)
+	out.SeqLeader = sol.LeaderAction
+	out.SeqWelfare = sol.LeaderPayoff + sol.FollowerPayoff
+	return out, nil
+}
+
+// GANGame is the discretized zero-sum generative-adversarial game: the
+// generator (column player) picks mean θ from ThetaGrid for its unit-
+// variance Gaussian; the discriminator (row player) picks a threshold t
+// from ThreshGrid and labels "real" the side of the threshold where the
+// true density (mean TrueMean) exceeds the fake one. The payoff to the
+// discriminator is its accuracy against a 50/50 real/fake mixture.
+type GANGame struct {
+	TrueMean   float64
+	ThetaGrid  []float64
+	ThreshGrid []float64
+	Game       *game.Bimatrix
+}
+
+// NewGANGame builds the payoff matrix in closed form using the Gaussian
+// CDF.
+func NewGANGame(trueMean float64, thetaGrid, threshGrid []float64) (*GANGame, error) {
+	if len(thetaGrid) == 0 || len(threshGrid) == 0 {
+		return nil, fmt.Errorf("adversarial: empty strategy grid")
+	}
+	payoff := make([][]float64, len(threshGrid))
+	for i, t := range threshGrid {
+		payoff[i] = make([]float64, len(thetaGrid))
+		for j, theta := range thetaGrid {
+			payoff[i][j] = discriminatorAccuracy(trueMean, theta, t)
+		}
+	}
+	g, err := game.NewZeroSum(payoff)
+	if err != nil {
+		return nil, err
+	}
+	return &GANGame{TrueMean: trueMean, ThetaGrid: thetaGrid, ThreshGrid: threshGrid, Game: g}, nil
+}
+
+// discriminatorAccuracy is the accuracy of the rule "real iff x on the
+// real-mean side of threshold t" against an equal mixture of N(real,1) and
+// N(fake,1). When the means coincide every threshold scores exactly 1/2.
+func discriminatorAccuracy(real, fake, t float64) float64 {
+	phi := func(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+	if real >= fake {
+		// Classify "real" when x > t.
+		return 0.5*(1-phi(t-real)) + 0.5*phi(t-fake)
+	}
+	// Classify "real" when x < t.
+	return 0.5*phi(t-real) + 0.5*(1-phi(t-fake))
+}
+
+// Equilibrium runs fictitious play and reports the generator's expected
+// |θ - trueMean| and the discriminator's value (→ 1/2 at the GAN optimum).
+func (gg *GANGame) Equilibrium(rounds int) (genMeanAbsErr, discValue float64, mix *game.Mixed) {
+	mix = gg.Game.FictitiousPlay(rounds, 7)
+	for j, p := range mix.Col {
+		genMeanAbsErr += p * math.Abs(gg.ThetaGrid[j]-gg.TrueMean)
+	}
+	return genMeanAbsErr, mix.RowVal, mix
+}

@@ -1,0 +1,147 @@
+package adversarial
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildPipelineGameShape(t *testing.T) {
+	pg, err := BuildPipelineGame(PipelineGameConfig{Seed: 1, Horizon: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Game.Rows() != len(DefaultPreprocOptions()) {
+		t.Errorf("rows = %d", pg.Game.Rows())
+	}
+	if pg.Game.Cols() != len(DefaultAnalyticsOptions()) {
+		t.Errorf("cols = %d", pg.Game.Cols())
+	}
+	for i := range pg.Quality {
+		for j := range pg.Quality[i] {
+			q := pg.Quality[i][j]
+			if q < 0 || q > 1 {
+				t.Errorf("quality[%d][%d] = %v outside [0,1]", i, j, q)
+			}
+		}
+	}
+	// Utility decomposition: payA + cost = share*quality.
+	for i := range pg.Quality {
+		for j := range pg.Quality[i] {
+			wantA := pg.QualityShare*pg.Quality[i][j] - pg.PreprocOps[i].Cost
+			if math.Abs(pg.Game.A[i][j]-wantA) > 1e-12 {
+				t.Errorf("payoff A[%d][%d] = %v, want %v", i, j, pg.Game.A[i][j], wantA)
+			}
+		}
+	}
+}
+
+func TestPipelineGamePreprocessingHelpsQuality(t *testing.T) {
+	pg, err := BuildPipelineGame(PipelineGameConfig{Seed: 2, Horizon: 200, Desync: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolation (row 2) should beat no preprocessing (row 0) for the
+	// impute-then-learn analytics (col 0): the merged records are nearly
+	// all-missing without preparation.
+	if pg.Quality[2][0] <= pg.Quality[0][0]-0.02 {
+		t.Errorf("interpolation quality %v should not lose to none %v",
+			pg.Quality[2][0], pg.Quality[0][0])
+	}
+}
+
+func TestAnalyzeRegimes(t *testing.T) {
+	pg, err := BuildPipelineGame(PipelineGameConfig{Seed: 3, Horizon: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pg.Analyze(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OptWelfare < out.NashWelfare-1e-9 {
+		t.Errorf("social optimum %v below Nash welfare %v", out.OptWelfare, out.NashWelfare)
+	}
+	if out.PriceOfMisalignment < 1 && out.PriceOfMisalignment != 1 {
+		t.Errorf("price of misalignment = %v", out.PriceOfMisalignment)
+	}
+	if out.OptRow < 0 || out.OptRow >= pg.Game.Rows() {
+		t.Errorf("opt row out of range: %d", out.OptRow)
+	}
+	if out.SeqLeader < 0 || out.SeqLeader >= pg.Game.Rows() {
+		t.Errorf("sequential leader out of range: %d", out.SeqLeader)
+	}
+}
+
+func TestGANGameEquilibrium(t *testing.T) {
+	thetas := []float64{-2, -1, -0.5, 0, 0.5, 1, 2}
+	threshs := []float64{-1.5, -1, -0.5, 0, 0.5, 1, 1.5}
+	gg, err := NewGANGame(0, thetas, threshs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genErr, discVal, mix := gg.Equilibrium(4000)
+	// E11 shape: generator concentrates near the true mean; discriminator
+	// value falls to ≈ 1/2 (cannot distinguish).
+	if genErr > 0.35 {
+		t.Errorf("generator mean abs error = %v, want near 0", genErr)
+	}
+	if math.Abs(discVal-0.5) > 0.05 {
+		t.Errorf("discriminator value = %v, want ≈ 0.5", discVal)
+	}
+	if mix == nil || len(mix.Col) != len(thetas) {
+		t.Fatal("missing mixture")
+	}
+}
+
+func TestGANGameDiscriminatorWinsWhenGeneratorConstrained(t *testing.T) {
+	// If the generator cannot reach the true mean, the discriminator keeps
+	// an edge: value > 0.5.
+	gg, err := NewGANGame(0, []float64{2, 3}, []float64{0, 0.5, 1, 1.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, discVal, _ := gg.Equilibrium(4000)
+	if discVal < 0.6 {
+		t.Errorf("discriminator value = %v, want > 0.6 with a constrained generator", discVal)
+	}
+}
+
+func TestGANGameValidation(t *testing.T) {
+	if _, err := NewGANGame(0, nil, []float64{0}); err == nil {
+		t.Error("empty theta grid accepted")
+	}
+	if _, err := NewGANGame(0, []float64{0}, nil); err == nil {
+		t.Error("empty threshold grid accepted")
+	}
+}
+
+func TestDiscriminatorAccuracyClosedForm(t *testing.T) {
+	// Identical distributions: accuracy exactly 1/2 for any threshold.
+	for _, thr := range []float64{-1, 0, 2} {
+		if got := discriminatorAccuracy(0, 0, thr); math.Abs(got-0.5) > 1e-12 {
+			t.Errorf("acc(0,0,%v) = %v, want 0.5", thr, got)
+		}
+	}
+	// Well-separated means with midpoint threshold: accuracy = Phi(2) ≈ 0.977.
+	got := discriminatorAccuracy(2, -2, 0)
+	want := 0.5 * (1 + math.Erf(2/math.Sqrt2))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("acc(2,-2,0) = %v, want %v", got, want)
+	}
+	// Symmetry when swapping real/fake around the threshold.
+	a := discriminatorAccuracy(1, -1, 0)
+	b := discriminatorAccuracy(-1, 1, 0)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("asymmetric accuracy: %v vs %v", a, b)
+	}
+}
+
+func TestGameIsZeroSum(t *testing.T) {
+	gg, err := NewGANGame(0.5, []float64{0, 0.5, 1}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gg.Game.IsZeroSum() {
+		t.Error("GAN game must be zero-sum")
+	}
+}

@@ -1,0 +1,201 @@
+package boolat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/combinat"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := SetOf(1, 3, 5)
+	if s.Card() != 3 {
+		t.Errorf("Card = %d, want 3", s.Card())
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if got := s.Add(2).Card(); got != 4 {
+		t.Errorf("Add: card = %d, want 4", got)
+	}
+	if got := s.Remove(3); got != SetOf(1, 5) {
+		t.Errorf("Remove = %v", got)
+	}
+	if got := s.Remove(99); got != s {
+		t.Errorf("Remove out-of-range should be identity, got %v", got)
+	}
+	el := s.Elements()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if el[i] != want[i] {
+			t.Errorf("Elements = %v, want %v", el, want)
+		}
+	}
+	if s.String() != "{1,3,5}" {
+		t.Errorf("String = %q", s.String())
+	}
+	if Set(0).String() != "∅" {
+		t.Errorf("empty String = %q", Set(0).String())
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	if !SetOf(1, 2).SubsetOf(SetOf(1, 2, 3)) {
+		t.Error("{1,2} ⊆ {1,2,3} should hold")
+	}
+	if SetOf(1, 4).SubsetOf(SetOf(1, 2, 3)) {
+		t.Error("{1,4} ⊄ {1,2,3}")
+	}
+	if !Set(0).SubsetOf(Set(0)) {
+		t.Error("∅ ⊆ ∅ should hold")
+	}
+}
+
+func TestSetOfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SetOf(0)
+}
+
+func TestDeBruijnSCDPaperExampleB3(t *testing.T) {
+	// The paper (Section III): "The de Bruijn decomposition of B3 consists
+	// of the 3 chains C1 = (∅, {1}, {1,2}, {1,2,3}), C2 = ({2}, {2,3}) and
+	// C3 = ({3}, {1,3})."
+	chains := DeBruijnSCD(3)
+	if len(chains) != 3 {
+		t.Fatalf("got %d chains, want 3", len(chains))
+	}
+	want := []Chain{
+		{Set(0), SetOf(1), SetOf(1, 2), SetOf(1, 2, 3)},
+		{SetOf(2), SetOf(2, 3)},
+		{SetOf(3), SetOf(1, 3)},
+	}
+	for i, wc := range want {
+		if len(chains[i]) != len(wc) {
+			t.Fatalf("chain %d = %s, want %s", i, chains[i], wc)
+		}
+		for j := range wc {
+			if chains[i][j] != wc[j] {
+				t.Errorf("chain %d[%d] = %s, want %s", i, j, chains[i][j], wc[j])
+			}
+		}
+	}
+}
+
+func TestDeBruijnSCDValid(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		if err := VerifySCD(DeBruijnSCD(n), n); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGreeneKleitmanSCDValid(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		if err := VerifySCD(GreeneKleitmanSCD(n), n); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSCDChainCountIsCentralBinomial(t *testing.T) {
+	// Any SCD of B_n has exactly C(n, floor(n/2)) chains (one per element of
+	// the largest level).
+	for n := 0; n <= 14; n++ {
+		want, _ := combinat.BinomialInt64(n, n/2)
+		if got := len(DeBruijnSCD(n)); int64(got) != want {
+			t.Errorf("n=%d: de Bruijn has %d chains, want %d", n, got, want)
+		}
+		if got := len(GreeneKleitmanSCD(n)); int64(got) != want {
+			t.Errorf("n=%d: Greene–Kleitman has %d chains, want %d", n, got, want)
+		}
+	}
+}
+
+func TestChainPredicates(t *testing.T) {
+	good := Chain{Set(0), SetOf(2), SetOf(2, 3)}
+	if !good.IsSaturated() {
+		t.Error("saturated chain rejected")
+	}
+	if !good.IsSymmetric(2) || good.IsSymmetric(3) {
+		t.Error("IsSymmetric wrong")
+	}
+	skip := Chain{Set(0), SetOf(1, 2)}
+	if skip.IsSaturated() {
+		t.Error("skipping chain accepted")
+	}
+	notIncr := Chain{SetOf(1), SetOf(2)}
+	if notIncr.IsSaturated() {
+		t.Error("non-nested chain accepted")
+	}
+	var empty Chain
+	if empty.IsSaturated() || empty.IsSymmetric(1) {
+		t.Error("empty chain should fail both predicates")
+	}
+}
+
+func TestVerifySCDDetectsBadDecompositions(t *testing.T) {
+	// Missing coverage.
+	if err := VerifySCD([]Chain{{Set(0), SetOf(1)}}, 2); err == nil {
+		t.Error("expected coverage error")
+	}
+	// Duplicate element across chains.
+	dup := []Chain{
+		{Set(0), SetOf(1), SetOf(1, 2)},
+		{SetOf(2), SetOf(1, 2)},
+	}
+	if err := VerifySCD(dup, 2); err == nil {
+		t.Error("expected duplicate error")
+	}
+	// Asymmetric chain.
+	asym := []Chain{
+		{Set(0), SetOf(1)},
+		{SetOf(2), SetOf(1, 2)},
+	}
+	if err := VerifySCD(asym, 2); err == nil {
+		t.Error("expected symmetry error")
+	}
+}
+
+func TestDeBruijnChainLevelStructure(t *testing.T) {
+	// In an SCD, the number of chains whose bottom has cardinality k equals
+	// C(n,k) - C(n,k-1) for k <= n/2 (the "new" chains at level k).
+	n := 8
+	counts := map[int]int64{}
+	for _, c := range DeBruijnSCD(n) {
+		counts[c[0].Card()]++
+	}
+	for k := 0; k <= n/2; k++ {
+		ck, _ := combinat.BinomialInt64(n, k)
+		var prev int64
+		if k > 0 {
+			prev, _ = combinat.BinomialInt64(n, k-1)
+		}
+		if counts[k] != ck-prev {
+			t.Errorf("chains starting at level %d = %d, want %d", k, counts[k], ck-prev)
+		}
+	}
+}
+
+func TestElementsRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		s := Set(raw)
+		return SetOf(s.Elements()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllSubsets(t *testing.T) {
+	subs := AllSubsets(3)
+	if len(subs) != 8 {
+		t.Fatalf("|AllSubsets(3)| = %d, want 8", len(subs))
+	}
+	if subs[5] != SetOf(1, 3) {
+		t.Errorf("subs[5] = %v, want {1,3}", subs[5])
+	}
+}

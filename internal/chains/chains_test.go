@@ -1,0 +1,282 @@
+package chains
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/boolat"
+	"repro/internal/combinat"
+	"repro/internal/partition"
+)
+
+func TestEncodePaperExamples(t *testing.T) {
+	// All eight encodings from Table I (n = 3).
+	tests := []struct {
+		set  boolat.Set
+		want string
+	}{
+		{boolat.Set(0), "1111"},
+		{boolat.SetOf(1), "0211"},
+		{boolat.SetOf(1, 2), "0031"},
+		{boolat.SetOf(1, 2, 3), "0004"},
+		{boolat.SetOf(2), "1021"},
+		{boolat.SetOf(2, 3), "1003"},
+		{boolat.SetOf(3), "1102"},
+		{boolat.SetOf(1, 3), "0202"},
+	}
+	for _, tt := range tests {
+		if got := EncodeString(tt.set, 3); got != tt.want {
+			t.Errorf("c(%s) = %s, want %s", tt.set, got, tt.want)
+		}
+	}
+}
+
+func TestTypeOfPaperExamples(t *testing.T) {
+	tests := []struct {
+		set  boolat.Set
+		want []int
+	}{
+		{boolat.Set(0), []int{1, 1, 1, 1}},
+		{boolat.SetOf(1), []int{1, 1, 2}},
+		{boolat.SetOf(1, 2), []int{1, 3}},
+		{boolat.SetOf(1, 2, 3), []int{4}},
+		{boolat.SetOf(2), []int{1, 2, 1}},
+		{boolat.SetOf(2, 3), []int{3, 1}},
+		{boolat.SetOf(3), []int{2, 1, 1}},
+		{boolat.SetOf(1, 3), []int{2, 2}},
+	}
+	for _, tt := range tests {
+		got := TypeOf(tt.set, 3)
+		if fmt.Sprint(got) != fmt.Sprint(tt.want) {
+			t.Errorf("type(%s) = %v, want %v", tt.set, got, tt.want)
+		}
+	}
+}
+
+func TestEncodingDigitsSumToNPlus1(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for _, s := range boolat.AllSubsets(n) {
+			sum := 0
+			for _, d := range Encode(s, n) {
+				sum += d
+			}
+			if sum != n+1 {
+				t.Errorf("n=%d S=%s: digits sum to %d, want %d", n, s, sum, n+1)
+			}
+		}
+	}
+}
+
+func TestEncodingIsBijectionOntoCompositions(t *testing.T) {
+	// c maps the 2^n subsets of {1..n} bijectively onto the 2^n
+	// compositions of n+1 (via the reversed nonzero-digit reading).
+	for n := 1; n <= 10; n++ {
+		seen := map[string]bool{}
+		for _, s := range boolat.AllSubsets(n) {
+			key := fmt.Sprint(TypeOf(s, n))
+			if seen[key] {
+				t.Errorf("n=%d: composition %s hit twice", n, key)
+			}
+			seen[key] = true
+		}
+		if len(seen) != len(combinat.Compositions(n+1)) {
+			t.Errorf("n=%d: %d distinct types, want %d", n, len(seen), len(combinat.Compositions(n+1)))
+		}
+	}
+}
+
+func TestDecomposeTable1Exact(t *testing.T) {
+	// Reproduce Table I of the paper row by row: the three de Bruijn chains
+	// of B_3, their encodings, types, and partition lists.
+	d := Decompose(3)
+	if len(d.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(d.Groups))
+	}
+	type row struct {
+		enc        string
+		partitions []string
+	}
+	wantGroups := [][]row{
+		{
+			{"1111", []string{"1/2/3/4"}},
+			{"0211", []string{"1/2/34"}},
+			{"0031", []string{"1/234"}},
+			{"0004", []string{"1234"}},
+		},
+		{
+			{"1021", []string{"1/23/4", "1/24/3"}},
+			{"1003", []string{"123/4", "124/3", "134/2"}},
+		},
+		{
+			{"1102", []string{"12/3/4", "13/2/4", "14/2/3"}},
+			{"0202", []string{"12/34", "13/24", "14/23"}},
+		},
+	}
+	for gi, wg := range wantGroups {
+		g := d.Groups[gi]
+		if len(g.Levels) != len(wg) {
+			t.Fatalf("group %d has %d levels, want %d", gi, len(g.Levels), len(wg))
+		}
+		for li, wl := range wg {
+			lv := g.Levels[li]
+			if got := EncodeString(lv.Subset, 3); got != wl.enc {
+				t.Errorf("group %d level %d encoding = %s, want %s", gi, li, got, wl.enc)
+			}
+			if len(lv.Partitions) != len(wl.partitions) {
+				t.Fatalf("group %d level %d has %d partitions, want %d",
+					gi, li, len(lv.Partitions), len(wl.partitions))
+			}
+			for pi, wp := range wl.partitions {
+				if got := lv.Partitions[pi].String(); got != wp {
+					t.Errorf("group %d level %d partition %d = %s, want %s", gi, li, pi, got, wp)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposePi4Chains(t *testing.T) {
+	// The symmetric chains of Π_4 extracted from the Table I groups:
+	// one full chain (rank 0→3), two chains in group 2 (rank 1→2), three in
+	// group 3 (rank 1→2) — six chains covering 14 of 15 partitions, with
+	// 134/2 the unique leftover (the lattice is not symmetric, so no full
+	// symmetric decomposition exists for n >= 3).
+	d := Decompose(3)
+	chains := d.SymmetricChains()
+	if len(chains) != 6 {
+		t.Fatalf("got %d symmetric chains, want 6", len(chains))
+	}
+	covered := 0
+	for _, c := range chains {
+		covered += len(c)
+	}
+	if covered != 14 {
+		t.Errorf("chains cover %d partitions, want 14", covered)
+	}
+	var leftover []partition.Partition
+	for _, g := range d.Groups {
+		leftover = append(leftover, g.Leftover...)
+	}
+	if len(leftover) != 1 || leftover[0].String() != "134/2" {
+		t.Errorf("leftover = %v, want exactly [134/2]", leftover)
+	}
+}
+
+func TestDecomposeVerifySmallN(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		if n == 0 {
+			continue // Π_1 is a single point; Decompose handles it below.
+		}
+		d := Decompose(n)
+		if err := d.Verify(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCoveredRankGuarantee(t *testing.T) {
+	for n, want := range map[int]int{1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2, 7: 3} {
+		d := &Decomposition{N: n}
+		if got := d.CoveredRankGuarantee(); got != want {
+			t.Errorf("n=%d: guarantee = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestChainCountIsMaximal(t *testing.T) {
+	// A collection of disjoint symmetric chains in Π_{n+1} has at most
+	// S(n+1, n+1-mid) members where mid = ⌊n/2⌋ is the middle rank every
+	// symmetric chain must cross. The claim of [11] is maximality; check we
+	// achieve the middle-level bound for small n.
+	for n := 1; n <= 6; n++ {
+		d := Decompose(n)
+		mid := n / 2
+		bound, _ := combinat.StirlingSecondInt64(n+1, n+1-mid)
+		got := int64(len(d.SymmetricChains()))
+		if got > bound {
+			t.Errorf("n=%d: %d chains exceeds middle-level bound %d", n, got, bound)
+		}
+		// Every symmetric chain crosses the middle rank, and the middle
+		// level should be fully used for a maximal collection.
+		midCount := int64(0)
+		for _, c := range d.SymmetricChains() {
+			for _, p := range c {
+				if p.Rank() == mid {
+					midCount++
+				}
+			}
+		}
+		if midCount != got {
+			t.Errorf("n=%d: %d chains but %d middle-rank crossings", n, got, midCount)
+		}
+	}
+}
+
+func TestPartitionChainPredicates(t *testing.T) {
+	mk := func(ss ...string) PartitionChain {
+		var c PartitionChain
+		for _, s := range ss {
+			p, err := partition.Parse(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c = append(c, p)
+		}
+		return c
+	}
+	good := mk("1/2/3/4", "1/2/34", "1/234", "1234")
+	if !good.IsSaturated() || !good.IsSymmetric() {
+		t.Error("full chain should be saturated and symmetric")
+	}
+	skip := mk("1/2/3/4", "1/234")
+	if skip.IsSaturated() {
+		t.Error("rank-skipping chain should not be saturated")
+	}
+	asym := mk("134/2") // rank 2, 2+2 != 3
+	if asym.IsSymmetric() {
+		t.Error("rank-2 singleton chain in Π_4 is not symmetric")
+	}
+	mid := mk("1/23/4", "123/4")
+	if !mid.IsSaturated() || !mid.IsSymmetric() {
+		t.Error("rank 1→2 chain in Π_4 should be saturated and symmetric")
+	}
+	var empty PartitionChain
+	if empty.IsSaturated() || empty.IsSymmetric() {
+		t.Error("empty chain should fail both predicates")
+	}
+}
+
+func TestGroupLevelRanksAscendByOne(t *testing.T) {
+	// Along each de Bruijn chain, the attached partition levels ascend in
+	// rank by exactly one — the property that makes threaded chains
+	// saturated.
+	for n := 1; n <= 7; n++ {
+		d := Decompose(n)
+		for gi, g := range d.Groups {
+			for li := 0; li+1 < len(g.Levels); li++ {
+				r0 := g.Levels[li].Partitions[0].Rank()
+				r1 := g.Levels[li+1].Partitions[0].Rank()
+				if r1 != r0+1 {
+					t.Fatalf("n=%d group %d: level %d rank %d then %d", n, gi, li, r0, r1)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeLevelSizesWeaklyIncrease(t *testing.T) {
+	// Observed structural property exploited by the linear search: within a
+	// group, level partition-lists never shrink, so every first-level
+	// partition can be threaded forward.
+	for n := 1; n <= 7; n++ {
+		d := Decompose(n)
+		for gi, g := range d.Groups {
+			for li := 0; li+1 < len(g.Levels); li++ {
+				if len(g.Levels[li+1].Partitions) < len(g.Levels[li].Partitions) {
+					t.Errorf("n=%d group %d: level %d size %d shrinks to %d",
+						n, gi, li, len(g.Levels[li].Partitions), len(g.Levels[li+1].Partitions))
+				}
+			}
+		}
+	}
+}

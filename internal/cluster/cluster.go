@@ -1,0 +1,228 @@
+// Package cluster implements lattice-based agglomerative hierarchical
+// clustering in the spirit of the paper's ref [8] (Markov, "A lattice-based
+// approach to hierarchical clustering"): a dendrogram over a set of items
+// is exactly a saturated chain in the partition lattice Π(S), from the
+// all-singletons partition to the one-block partition.
+//
+// Clustering the *features* of a dataset by similarity yields a
+// data-adaptive chain of kernel configurations for the MKL search
+// (mkl.DendrogramSearch) — an alternative to the canonical LDD chain.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// Linkage selects how inter-cluster distance is computed from pairwise
+// item distances.
+type Linkage int
+
+const (
+	// SingleLinkage uses the minimum pairwise distance.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage uses the maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage uses the unweighted mean pairwise distance.
+	AverageLinkage
+)
+
+// Dendrogram is the result of agglomerative clustering: a saturated chain
+// of partitions of {1..n} from rank 0 (all singletons) to rank n-1 (one
+// block), plus the merge heights.
+type Dendrogram struct {
+	Chain   []partition.Partition // length n, Chain[0] finest
+	Heights []float64             // length n-1, distance at each merge
+}
+
+// Cut returns the partition with exactly k blocks (k in [1, n]).
+func (d *Dendrogram) Cut(k int) (partition.Partition, error) {
+	n := len(d.Chain)
+	if k < 1 || k > n {
+		return partition.Partition{}, fmt.Errorf("cluster: cut at %d blocks, want [1,%d]", k, n)
+	}
+	// Chain[i] has n-i blocks.
+	return d.Chain[n-k], nil
+}
+
+// Agglomerate clusters n items given a symmetric distance matrix, merging
+// the closest pair at each step under the chosen linkage. It returns the
+// full dendrogram chain (a saturated chain in Π_n).
+func Agglomerate(dist [][]float64, link Linkage) (*Dendrogram, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty distance matrix")
+	}
+	for i := range dist {
+		if len(dist[i]) != n {
+			return nil, fmt.Errorf("cluster: distance row %d has %d entries, want %d", i, len(dist[i]), n)
+		}
+		for j := range dist[i] {
+			if math.IsNaN(dist[i][j]) || dist[i][j] < 0 {
+				return nil, fmt.Errorf("cluster: invalid distance %g at (%d,%d)", dist[i][j], i, j)
+			}
+			if math.Abs(dist[i][j]-dist[j][i]) > 1e-9 {
+				return nil, fmt.Errorf("cluster: asymmetric distances at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// clusters maps active cluster id -> member items (0-based).
+	members := map[int][]int{}
+	for i := 0; i < n; i++ {
+		members[i] = []int{i}
+	}
+	next := n
+
+	clusterDist := func(a, b []int) float64 {
+		switch link {
+		case SingleLinkage:
+			best := math.Inf(1)
+			for _, i := range a {
+				for _, j := range b {
+					if dist[i][j] < best {
+						best = dist[i][j]
+					}
+				}
+			}
+			return best
+		case CompleteLinkage:
+			worst := math.Inf(-1)
+			for _, i := range a {
+				for _, j := range b {
+					if dist[i][j] > worst {
+						worst = dist[i][j]
+					}
+				}
+			}
+			return worst
+		default:
+			s := 0.0
+			for _, i := range a {
+				for _, j := range b {
+					s += dist[i][j]
+				}
+			}
+			return s / float64(len(a)*len(b))
+		}
+	}
+
+	toPartition := func() partition.Partition {
+		assign := make([]int, n)
+		label := 0
+		for id := 0; id < next; id++ {
+			ms, ok := members[id]
+			if !ok {
+				continue
+			}
+			for _, m := range ms {
+				assign[m] = label
+			}
+			label++
+		}
+		return partition.FromRGS(assign)
+	}
+
+	den := &Dendrogram{Chain: []partition.Partition{toPartition()}}
+	for len(members) > 1 {
+		// Find the closest active pair (deterministic tie-break by ids).
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		ids := make([]int, 0, len(members))
+		for id := range members {
+			ids = append(ids, id)
+		}
+		sortInts(ids)
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				d := clusterDist(members[ids[x]], members[ids[y]])
+				if d < bestD {
+					bestA, bestB, bestD = ids[x], ids[y], d
+				}
+			}
+		}
+		merged := append(append([]int{}, members[bestA]...), members[bestB]...)
+		delete(members, bestA)
+		delete(members, bestB)
+		members[next] = merged
+		next++
+		den.Chain = append(den.Chain, toPartition())
+		den.Heights = append(den.Heights, bestD)
+	}
+	return den, nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// FeatureDistances returns a correlation-based distance matrix between the
+// columns of x: d(i,j) = 1 - |corr(x_i, x_j)|, so strongly (anti-)
+// correlated features are close and cluster together. Constant columns are
+// maximally distant from everything.
+func FeatureDistances(x [][]float64) ([][]float64, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("cluster: empty data")
+	}
+	n, d := len(x), len(x[0])
+	cols := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if len(x[i]) != d {
+				return nil, fmt.Errorf("cluster: ragged row %d", i)
+			}
+			col[i] = x[i][j]
+		}
+		cols[j] = col
+	}
+	means := make([]float64, d)
+	sds := make([]float64, d)
+	for j := 0; j < d; j++ {
+		means[j] = stats.Mean(cols[j])
+		sds[j] = stats.StdDev(cols[j])
+	}
+	out := make([][]float64, d)
+	for i := 0; i < d; i++ {
+		out[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			var dij float64
+			if sds[i] < 1e-12 || sds[j] < 1e-12 {
+				dij = 1
+			} else {
+				cov := 0.0
+				for r := 0; r < n; r++ {
+					cov += (cols[i][r] - means[i]) * (cols[j][r] - means[j])
+				}
+				cov /= float64(n)
+				corr := cov / (sds[i] * sds[j])
+				dij = 1 - math.Abs(corr)
+				if dij < 0 {
+					dij = 0
+				}
+			}
+			out[i][j] = dij
+			out[j][i] = dij
+		}
+	}
+	return out, nil
+}
+
+// FeatureDendrogram clusters the features of x by correlation distance —
+// the data-adaptive chain of feature partitions used by
+// mkl.DendrogramSearch.
+func FeatureDendrogram(x [][]float64, link Linkage) (*Dendrogram, error) {
+	dist, err := FeatureDistances(x)
+	if err != nil {
+		return nil, err
+	}
+	return Agglomerate(dist, link)
+}

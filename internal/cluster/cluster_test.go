@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// twoBlobsDist builds distances for items {0,1,2} close together and
+// {3,4} close together, far apart across groups.
+func twoBlobsDist() [][]float64 {
+	big, small := 10.0, 1.0
+	d := make([][]float64, 5)
+	for i := range d {
+		d[i] = make([]float64, 5)
+	}
+	set := func(i, j int, v float64) { d[i][j], d[j][i] = v, v }
+	set(0, 1, small)
+	set(0, 2, small)
+	set(1, 2, small)
+	set(3, 4, small)
+	for _, i := range []int{0, 1, 2} {
+		for _, j := range []int{3, 4} {
+			set(i, j, big)
+		}
+	}
+	return d
+}
+
+func TestAgglomerateChainStructure(t *testing.T) {
+	for _, link := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		den, err := Agglomerate(twoBlobsDist(), link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(den.Chain) != 5 {
+			t.Fatalf("chain length %d, want 5", len(den.Chain))
+		}
+		if len(den.Heights) != 4 {
+			t.Fatalf("heights %d, want 4", len(den.Heights))
+		}
+		for i, p := range den.Chain {
+			if p.Rank() != i {
+				t.Errorf("chain[%d] rank %d", i, p.Rank())
+			}
+			if i > 0 && !den.Chain[i-1].Covers(p) {
+				t.Errorf("chain[%d] not covered by predecessor", i)
+			}
+		}
+	}
+}
+
+func TestAgglomerateRecoversBlobs(t *testing.T) {
+	den, err := Agglomerate(twoBlobsDist(), AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := den.Cut(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elements 1..3 together (0-based 0..2), 4..5 together.
+	if !cut.SameBlock(1, 2) || !cut.SameBlock(2, 3) || !cut.SameBlock(4, 5) || cut.SameBlock(1, 4) {
+		t.Errorf("cut(2) = %s, want 123/45", cut)
+	}
+}
+
+func TestCutBounds(t *testing.T) {
+	den, err := Agglomerate(twoBlobsDist(), SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := den.Cut(0); err == nil {
+		t.Error("cut(0) accepted")
+	}
+	if _, err := den.Cut(6); err == nil {
+		t.Error("cut(6) accepted")
+	}
+	one, err := den.Cut(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.NumBlocks() != 1 {
+		t.Errorf("cut(1) has %d blocks", one.NumBlocks())
+	}
+	five, err := den.Cut(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if five.NumBlocks() != 5 {
+		t.Errorf("cut(5) has %d blocks", five.NumBlocks())
+	}
+}
+
+func TestAgglomerateValidation(t *testing.T) {
+	if _, err := Agglomerate(nil, SingleLinkage); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := Agglomerate([][]float64{{0, 1}}, SingleLinkage); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := Agglomerate([][]float64{{0, 1}, {2, 0}}, SingleLinkage); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, err := Agglomerate([][]float64{{0, -1}, {-1, 0}}, SingleLinkage); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestSingleVsCompleteLinkageChaining(t *testing.T) {
+	// A chain of items each close to the next: single linkage merges them
+	// all at low height; complete linkage resists.
+	n := 5
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			diff := i - j
+			if diff < 0 {
+				diff = -diff
+			}
+			d[i][j] = float64(diff)
+		}
+	}
+	single, err := Agglomerate(d, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := Agglomerate(d, CompleteLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final merge height: single = 1 (always merges adjacent), complete = 4.
+	if single.Heights[len(single.Heights)-1] != 1 {
+		t.Errorf("single final height = %v, want 1", single.Heights[len(single.Heights)-1])
+	}
+	if complete.Heights[len(complete.Heights)-1] != 4 {
+		t.Errorf("complete final height = %v, want 4", complete.Heights[len(complete.Heights)-1])
+	}
+}
+
+func TestFeatureDistances(t *testing.T) {
+	// col0 and col1 perfectly anti-correlated (distance 0); col2 constant
+	// (distance 1 from everything).
+	x := [][]float64{
+		{1, -1, 5},
+		{2, -2, 5},
+		{3, -3, 5},
+		{4, -4, 5},
+	}
+	d, err := FeatureDistances(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0][1] > 1e-9 {
+		t.Errorf("anti-correlated distance = %v, want 0", d[0][1])
+	}
+	if d[0][2] != 1 || d[1][2] != 1 {
+		t.Errorf("constant-column distances = %v %v, want 1", d[0][2], d[1][2])
+	}
+	if _, err := FeatureDistances(nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := FeatureDistances([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged data accepted")
+	}
+}
+
+func TestFeatureDendrogramGroupsCorrelatedFeatures(t *testing.T) {
+	rng := stats.NewRNG(3)
+	n := 200
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		x[i] = []float64{
+			a, a + rng.NormFloat64()*0.1, // features 1,2 correlated
+			b, -b + rng.NormFloat64()*0.1, // features 3,4 (anti-)correlated
+		}
+	}
+	den, err := FeatureDendrogram(x, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := den.Cut(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.SameBlock(1, 2) || !cut.SameBlock(3, 4) || cut.SameBlock(1, 3) {
+		t.Errorf("feature cut = %s, want 12/34", cut)
+	}
+}
+
+func TestHeightsMonotoneUnderCompleteLinkageProperty(t *testing.T) {
+	// Complete-linkage merge heights are non-decreasing (no inversions).
+	f := func(seed uint32, n8 uint8) bool {
+		rng := stats.NewRNG(int64(seed))
+		n := int(n8%6) + 3
+		d := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Float64() * 10
+				d[i][j], d[j][i] = v, v
+			}
+		}
+		den, err := Agglomerate(d, CompleteLinkage)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(den.Heights); i++ {
+			if den.Heights[i] < den.Heights[i-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package core assembles the paper's primary contribution into one
+// convenience entry point: partition-driven multiple kernel learning over a
+// faceted dataset, seeded by rough-set approximation accuracy and searched
+// along a symmetric chain of the partition lattice.
+//
+// The root package iotml re-exports this API for library consumers; the
+// individual subsystems live in the sibling internal packages (partition,
+// chains, rough, kernel, mkl, pipeline, game, ...).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mkl"
+	"repro/internal/partition"
+	"repro/internal/rough"
+)
+
+// FitConfig configures PartitionDrivenMKL. Zero values select the paper's
+// defaults: rough-set accuracy seeding with K up to 2 features, chain
+// search with the best-of-chain rule, 4-fold CV scoring with kernel ridge.
+type FitConfig struct {
+	// SeedMaxK bounds the size of the rough-set-selected block K
+	// (default 2).
+	SeedMaxK int
+	// SeedObjective selects the rough-set scoring of candidate K sets.
+	SeedObjective rough.SeedObjective
+	// DiscretizeBins is the equal-width bin count for the rough-set table
+	// (default 3).
+	DiscretizeBins int
+	// Search selects the exploration strategy.
+	Search SearchStrategy
+	// MKL configures the evaluator (objective, folds, kernels, learner).
+	MKL mkl.Config
+}
+
+// SearchStrategy selects how the partition lattice is explored.
+type SearchStrategy int
+
+const (
+	// SearchChain walks the LDD symmetric chain — linear cost (default).
+	SearchChain SearchStrategy = iota
+	// SearchChainFirstImprovement stops the walk at the first
+	// non-improving step (the paper's stopping criterion).
+	SearchChainFirstImprovement
+	// SearchGreedy hill-climbs through block splits.
+	SearchGreedy
+	// SearchExhaustive enumerates the whole cone (Bell-number cost; only
+	// sensible for small feature counts).
+	SearchExhaustive
+)
+
+// FitResult is the outcome of PartitionDrivenMKL.
+type FitResult struct {
+	// Seed is the rough-set-selected two-block partition (K, S-K).
+	Seed partition.Partition
+	// SeedAttrs names the features in K.
+	SeedAttrs []string
+	// Best is the selected kernel configuration.
+	Best partition.Partition
+	// Score is its cross-validated objective value.
+	Score float64
+	// Evaluations counts kernel configurations scored during the search.
+	Evaluations int
+}
+
+// PartitionDrivenMKL runs the paper's Section III procedure end to end on
+// a faceted dataset: select K dynamically by rough-set approximation
+// accuracy, form the two-block seed (K, S-K), and explore the partition
+// lattice for the best multiple-kernel configuration.
+func PartitionDrivenMKL(d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.SeedMaxK <= 0 {
+		cfg.SeedMaxK = 2
+	}
+	if cfg.DiscretizeBins <= 0 {
+		cfg.DiscretizeBins = 3
+	}
+	seed, attrs, err := mkl.SeedFromRoughSet(d, cfg.DiscretizeBins, cfg.SeedMaxK, cfg.SeedObjective)
+	if err != nil {
+		return nil, fmt.Errorf("core: seeding: %w", err)
+	}
+	e, err := mkl.NewEvaluator(d, cfg.MKL)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var res *mkl.Result
+	switch cfg.Search {
+	case SearchGreedy:
+		res, err = mkl.GreedyRefine(e, seed)
+	case SearchExhaustive:
+		res, err = mkl.ExhaustiveCone(e, seed)
+	case SearchChainFirstImprovement:
+		res, err = mkl.ChainSearch(e, seed, mkl.FirstImprovement)
+	default:
+		res, err = mkl.ChainSearch(e, seed, mkl.BestOfChain)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: search: %w", err)
+	}
+	return &FitResult{
+		Seed:        seed,
+		SeedAttrs:   attrs,
+		Best:        res.Best,
+		Score:       res.Score,
+		Evaluations: res.Evaluations,
+	}, nil
+}
+
+// Deploy retrains the chosen configuration on train and reports holdout
+// accuracy on test.
+func Deploy(train, test *dataset.Dataset, p partition.Partition, cfg mkl.Config) (float64, error) {
+	return mkl.HoldoutAccuracy(train, test, p, cfg)
+}

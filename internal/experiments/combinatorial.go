@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/boolat"
+	"repro/internal/chains"
+	"repro/internal/combinat"
+	"repro/internal/partition"
+	"repro/internal/rough"
+)
+
+// Table1 regenerates Table I of the paper exactly: the de Bruijn chain
+// decomposition of B_3 lifted to Π_4 via the c(S) encoding.
+func Table1() *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Example of chain decomposition of Π4 (paper Table I)",
+		Header: []string{"S ∈ B3", "c(S)", "type", "Π4"},
+	}
+	d := chains.Decompose(3)
+	for _, g := range d.Groups {
+		for _, lv := range g.Levels {
+			var parts []string
+			for _, p := range lv.Partitions {
+				parts = append(parts, p.String())
+			}
+			typeStr := ""
+			for _, c := range lv.Type {
+				typeStr += fmt.Sprint(c)
+			}
+			t.AddRow(lv.Subset.String(), chains.EncodeString(lv.Subset, 3), typeStr,
+				strings.Join(parts, ", "))
+		}
+	}
+	var chainStrs []string
+	for _, c := range d.SymmetricChains() {
+		var ps []string
+		for _, p := range c {
+			ps = append(ps, p.String())
+		}
+		chainStrs = append(chainStrs, "("+strings.Join(ps, " < ")+")")
+	}
+	t.Note("symmetric chains: %s", strings.Join(chainStrs, "  "))
+	var left []string
+	for _, g := range d.Groups {
+		for _, p := range g.Leftover {
+			left = append(left, p.String())
+		}
+	}
+	t.Note("uncovered (lattice not symmetric for n >= 3): %s", strings.Join(left, ", "))
+	return t
+}
+
+// Figure2 regenerates the structure of Figure 2: the fifteen partitions of
+// a 4-element set ordered by refinement, one row per rank, plus the Hasse
+// cover counts.
+func Figure2() *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Lattice of partitions of a 4-element set (paper Figure 2)",
+		Header: []string{"rank", "#blocks", "count", "partitions"},
+	}
+	all := partition.All(4)
+	byRank := map[int][]string{}
+	for _, p := range all {
+		byRank[p.Rank()] = append(byRank[p.Rank()], p.String())
+	}
+	for r := 0; r <= 3; r++ {
+		t.AddRow(r, 4-r, len(byRank[r]), strings.Join(byRank[r], " "))
+	}
+	edges := partition.HasseEdges(all)
+	t.Note("total partitions: %d = Bell(4); cover relations: %d", len(all), len(edges))
+	t.Note("Whitney numbers by rank: 1, 6, 7, 1")
+	return t
+}
+
+// FigureLatticeDOT renders Π_n as a GraphViz DOT digraph (covers point
+// upward), for the figure2 CLI subcommand.
+func FigureLatticeDOT(n int) string {
+	all := partition.All(n)
+	var sb strings.Builder
+	sb.WriteString("digraph Pi {\n  rankdir=BT;\n  node [shape=plaintext];\n")
+	for i, p := range all {
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"];\n", i, p)
+	}
+	for _, e := range partition.HasseEdges(all) {
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// LatticeAsymmetry regenerates the paper's counting argument that Π_n has
+// no full symmetric chain decomposition: 2^(n-1)-1 two-block partitions vs
+// n(n-1)/2 (n-1)-block partitions.
+func LatticeAsymmetry(maxN int) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "Partition-lattice asymmetry (Section III counting claim)",
+		Header: []string{"n", "S(n,2) = 2^(n-1)-1", "S(n,n-1) = n(n-1)/2", "ratio"},
+	}
+	for n := 3; n <= maxN; n++ {
+		two := combinat.TwoBlockPartitions(n)
+		near := combinat.NearTopPartitions(n)
+		ratio := "-"
+		if near.Sign() > 0 {
+			ratio = fmt.Sprintf("%.3g", float64FromBig(two)/float64FromBig(near))
+		}
+		t.AddRow(n, two.String(), near.String(), ratio)
+	}
+	t.Note("for n >= 5 the bottom co-level outgrows the top co-level, so no")
+	t.Note("symmetric chain decomposition of Π_n exists (paper, Section III)")
+	return t
+}
+
+// ChainCoverage verifies the Loeb–Damiani–D'Antona guarantee per n: chains
+// are disjoint, saturated, symmetric, and cover all ranks ≤ ⌊(n-1)/2⌋.
+func ChainCoverage(maxN int) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "LDD symmetric-chain collection in Π_{n+1} (claim of ref [11])",
+		Header: []string{"n", "|Π_{n+1}|", "chains", "covered", "guarantee rank", "verified"},
+	}
+	for n := 1; n <= maxN; n++ {
+		d := chains.Decompose(n)
+		covered := 0
+		for _, c := range d.SymmetricChains() {
+			covered += len(c)
+		}
+		bell, _ := combinat.BellInt64(n + 1)
+		status := "ok"
+		if err := d.Verify(); err != nil {
+			status = err.Error()
+		}
+		t.AddRow(n, bell, len(d.SymmetricChains()), covered, d.CoveredRankGuarantee(), status)
+		if status != "ok" {
+			return t, fmt.Errorf("experiments: coverage verification failed at n=%d: %s", n, status)
+		}
+	}
+	t.Note("every partition of rank ≤ ⌊(n-1)/2⌋ lies on a symmetric chain")
+	return t, nil
+}
+
+// RoughExample reproduces the worked rough-set example of Section III.
+func RoughExample() (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Rough approximation of 'available phones' under K = {OS}",
+		Header: []string{"quantity", "value"},
+	}
+	tbl := rough.PhonesExample()
+	concept, err := tbl.ConceptOf("Available", "Y")
+	if err != nil {
+		return nil, err
+	}
+	ap, err := tbl.Approximate(concept, []string{"OS"})
+	if err != nil {
+		return nil, err
+	}
+	oneBased := func(rows []int) string {
+		var out []string
+		for _, r := range rows {
+			out = append(out, fmt.Sprint(r+1))
+		}
+		return "{" + strings.Join(out, ",") + "}"
+	}
+	t.AddRow("equivalence classes of ∼K", "{1,2} {3} {4}")
+	t.AddRow("concept T (Available = Y)", oneBased(concept))
+	t.AddRow("lower approximation", oneBased(ap.Lower))
+	t.AddRow("upper approximation", oneBased(ap.Upper))
+	t.AddRow("accuracy (granule ratio, paper)", ap.AccuracyGranules())
+	t.AddRow("accuracy (element ratio, Pawlak)", ap.AccuracyElements())
+	t.Note("paper reports 0.5 — the granule-count ratio; the classical")
+	t.Note("element-wise Pawlak accuracy of the same approximation is 1/3")
+	return t, nil
+}
+
+// DeBruijnTable renders the de Bruijn SCD of B_n (supporting detail for
+// E1, exposed in the CLI).
+func DeBruijnTable(n int) *Table {
+	t := &Table{
+		ID:     "B" + fmt.Sprint(n),
+		Title:  fmt.Sprintf("de Bruijn symmetric chain decomposition of B_%d", n),
+		Header: []string{"#", "chain"},
+	}
+	for i, c := range boolat.DeBruijnSCD(n) {
+		t.AddRow(i+1, c.String())
+	}
+	return t
+}
+
+func float64FromBig(b interface{ Int64() int64 }) float64 {
+	return float64(b.Int64())
+}

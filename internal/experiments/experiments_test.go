@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTable1ReproducesPaperExactly(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Table I has %d rows, want 8", len(tab.Rows))
+	}
+	want := [][]string{
+		{"∅", "1111", "1111", "1/2/3/4"},
+		{"{1}", "0211", "112", "1/2/34"},
+		{"{1,2}", "0031", "13", "1/234"},
+		{"{1,2,3}", "0004", "4", "1234"},
+		{"{2}", "1021", "121", "1/23/4, 1/24/3"},
+		{"{2,3}", "1003", "31", "123/4, 124/3, 134/2"},
+		{"{3}", "1102", "211", "12/3/4, 13/2/4, 14/2/3"},
+		{"{1,3}", "0202", "22", "12/34, 13/24, 14/23"},
+	}
+	for i, w := range want {
+		for j, cell := range w {
+			if tab.Rows[i][j] != cell {
+				t.Errorf("row %d col %d = %q, want %q", i, j, tab.Rows[i][j], cell)
+			}
+		}
+	}
+}
+
+func TestFigure2Counts(t *testing.T) {
+	tab := Figure2()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Figure 2 has %d rank rows, want 4", len(tab.Rows))
+	}
+	wantCounts := []string{"1", "6", "7", "1"}
+	for i, w := range wantCounts {
+		if tab.Rows[i][2] != w {
+			t.Errorf("rank %d count = %s, want %s", i, tab.Rows[i][2], w)
+		}
+	}
+}
+
+func TestFigureLatticeDOT(t *testing.T) {
+	dot := FigureLatticeDOT(3)
+	if !strings.Contains(dot, "digraph") {
+		t.Error("missing digraph header")
+	}
+	// Π3 has 5 nodes and 6 cover edges... partitions: 1/2/3, 12/3, 13/2,
+	// 1/23, 123. Covers: 3 from bottom, 3 into top: count "->" occurrences.
+	if got := strings.Count(dot, "->"); got != 6 {
+		t.Errorf("Π3 cover edges = %d, want 6", got)
+	}
+}
+
+func TestRoughExampleValues(t *testing.T) {
+	tab, err := RoughExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]string{}
+	for _, r := range tab.Rows {
+		cells[r[0]] = r[1]
+	}
+	if cells["lower approximation"] != "{3}" {
+		t.Errorf("lower = %s", cells["lower approximation"])
+	}
+	if cells["upper approximation"] != "{1,2,3}" {
+		t.Errorf("upper = %s", cells["upper approximation"])
+	}
+	if cells["accuracy (granule ratio, paper)"] != "0.5" {
+		t.Errorf("paper accuracy = %s, want 0.5", cells["accuracy (granule ratio, paper)"])
+	}
+}
+
+func TestLatticeAsymmetryTable(t *testing.T) {
+	tab := LatticeAsymmetry(8)
+	if len(tab.Rows) != 6 { // n = 3..8
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// n=4 row: 7 vs 6.
+	if tab.Rows[1][1] != "7" || tab.Rows[1][2] != "6" {
+		t.Errorf("n=4 row = %v", tab.Rows[1])
+	}
+}
+
+func TestChainCoverageVerifies(t *testing.T) {
+	tab, err := ChainCoverage(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r[5] != "ok" {
+			t.Errorf("n=%s: %s", r[0], r[5])
+		}
+	}
+}
+
+func TestSinglePlayerTradeoffShape(t *testing.T) {
+	tab, err := SinglePlayerTradeoff(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// At p=0 the pattern ensemble has one model; at p=0.45 it has many.
+	if tab.Rows[0][4] != "1" {
+		t.Errorf("p=0 pattern models = %s, want 1", tab.Rows[0][4])
+	}
+	if tab.Rows[4][4] == "1" {
+		t.Error("p=0.45 should yield multiple availability patterns")
+	}
+}
+
+func TestZeroSumGANTableShape(t *testing.T) {
+	tab, err := ZeroSumGAN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTimestampMergeShape(t *testing.T) {
+	tab, err := TimestampMerge(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Missingness grows with desync: compare first and last rows.
+	first, last := tab.Rows[0][2], tab.Rows[4][2]
+	if first >= last && first != "0" {
+		t.Errorf("missing fraction should grow: %s -> %s", first, last)
+	}
+}
+
+func TestDeBruijnTable(t *testing.T) {
+	tab := DeBruijnTable(3)
+	if len(tab.Rows) != 3 {
+		t.Errorf("B3 has %d chains, want 3", len(tab.Rows))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Header: []string{"a", "bb"}}
+	tab.AddRow("long-cell", 1.5)
+	tab.Note("hello %d", 7)
+	s := tab.String()
+	for _, want := range []string{"X — t", "long-cell", "1.5", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAllAndByID(t *testing.T) {
+	all := All()
+	if len(all) < 13 {
+		t.Fatalf("catalogue has %d entries, want >= 13", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil {
+			t.Errorf("%s has no runner", r.ID)
+		}
+	}
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	// Every non-expensive experiment must run clean end to end.
+	for _, r := range All() {
+		if r.Expensive {
+			continue
+		}
+		tab, err := r.Run()
+		if err != nil {
+			t.Errorf("%s: %v", r.ID, err)
+			continue
+		}
+		if tab == nil || len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+	}
+}
+
+func TestVeracityShape(t *testing.T) {
+	tab, err := Veracity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// At the highest dropout the blind ECE must exceed the pipeline-aware
+	// ECE clearly, and exceed its own clean value.
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscan(s, &v); err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	cleanBlind := parse(tab.Rows[0][2])
+	worstBlind := parse(tab.Rows[3][2])
+	worstAware := parse(tab.Rows[3][3])
+	if worstBlind <= cleanBlind {
+		t.Errorf("blind ECE should grow with dropout: %v -> %v", cleanBlind, worstBlind)
+	}
+	if worstAware >= worstBlind {
+		t.Errorf("pipeline-aware ECE %v should beat blind %v", worstAware, worstBlind)
+	}
+}
+
+func TestExpensiveExperimentsRun(t *testing.T) {
+	// The full catalogue, including the expensive learning experiments —
+	// the end-to-end guarantee behind `cmd/iotml run all`.
+	if testing.Short() {
+		t.Skip("skipping expensive experiments in -short mode")
+	}
+	for _, r := range All() {
+		if !r.Expensive {
+			continue
+		}
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tab == nil || len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", r.ID)
+			}
+		})
+	}
+}

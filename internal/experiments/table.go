@@ -1,0 +1,124 @@
+// Package experiments regenerates every concrete artifact and quantitative
+// claim of the paper as a rendered table: Table I, Figure 2, the in-text
+// rough-set example, and the measurable claims E4–E13 catalogued in
+// DESIGN.md. The cmd/iotml CLI prints these tables; bench_test.go times
+// their regeneration; EXPERIMENTS.md records paper-vs-measured per ID.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // experiment id, e.g. "E1"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends an explanatory footnote.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(c))
+			}
+			sb.WriteString("  ")
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", pad))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	total := 2 * len(widths)
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner is an experiment generator, keyed by ID for the CLI.
+type Runner struct {
+	ID        string
+	Title     string
+	Run       func() (*Table, error)
+	Expensive bool // skipped by `run all --fast`
+}
+
+// All returns every experiment in catalogue order.
+func All() []Runner {
+	return []Runner{
+		{ID: "E1", Title: "Table I — chain decomposition of Π4", Run: func() (*Table, error) { return Table1(), nil }},
+		{ID: "E2", Title: "Figure 2 — partition lattice of a 4-element set", Run: func() (*Table, error) { return Figure2(), nil }},
+		{ID: "E3", Title: "In-text rough-set example (four phones)", Run: RoughExample},
+		{ID: "E4", Title: "Search cost: Bell-number cone vs linear chain", Run: func() (*Table, error) { return SearchCost(10) }, Expensive: true},
+		{ID: "E5", Title: "Lattice asymmetry: S(n,2) vs S(n,n-1)", Run: func() (*Table, error) { return LatticeAsymmetry(14), nil }},
+		{ID: "E6", Title: "LDD chain coverage guarantee", Run: func() (*Table, error) { return ChainCoverage(7) }},
+		{ID: "E7", Title: "Headline: partition-driven MKL on faceted data", Run: func() (*Table, error) { return HeadlineMKL(1) }, Expensive: true},
+		{ID: "E8", Title: "Rough-set seeding objectives", Run: func() (*Table, error) { return RoughSeeding(1) }, Expensive: true},
+		{ID: "E9", Title: "Single-player tradeoff: impute vs per-pattern trees", Run: func() (*Table, error) { return SinglePlayerTradeoff(1) }},
+		{ID: "E10", Title: "Pipeline game: optimum vs Nash vs sequential", Run: func() (*Table, error) { return PipelineGameExperiment(1) }},
+		{ID: "E11", Title: "Zero-sum GAN game convergence", Run: func() (*Table, error) { return ZeroSumGAN() }},
+		{ID: "E12", Title: "Time-stamp merge: desync, missingness, reconstruction", Run: func() (*Table, error) { return TimestampMerge(1) }},
+		{ID: "E13", Title: "Multi-view family comparison", Run: func() (*Table, error) { return MultiViewFamily(1) }, Expensive: true},
+		{ID: "E14", Title: "Object-surface workload: color + texture facets", Run: func() (*Table, error) { return ObjectSurface(1) }, Expensive: true},
+		{ID: "E15", Title: "Prediction veracity vs pipeline transparency", Run: func() (*Table, error) { return Veracity(1) }},
+		{ID: "A1", Title: "Ablation: block-kernel combiner (sum vs product)", Run: func() (*Table, error) { return AblationCombiner(1) }, Expensive: true},
+		{ID: "A2", Title: "Ablation: chain ascent rule", Run: func() (*Table, error) { return AblationAscentRule(1) }, Expensive: true},
+		{ID: "A3", Title: "Ablation: equilibrium solver", Run: func() (*Table, error) { return AblationEquilibriumSolver(1) }},
+		{ID: "A4", Title: "Ablation: chain source (LDD vs dendrogram vs beam)", Run: func() (*Table, error) { return AblationChainSource(1) }, Expensive: true},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

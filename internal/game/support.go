@@ -1,0 +1,170 @@
+package game
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// MixedEquilibrium is an exact mixed-strategy Nash equilibrium found by
+// support enumeration.
+type MixedEquilibrium struct {
+	Row, Col       []float64
+	RowVal, ColVal float64
+}
+
+// SupportEnumeration finds mixed Nash equilibria exactly by enumerating
+// support pairs of equal size (k x k supports, k = 1..min(rows, cols)),
+// solving the indifference conditions with a linear solve, and checking
+// feasibility (probabilities nonnegative, no profitable deviation outside
+// the support). For nondegenerate games this finds all equilibria; the
+// search is exponential in the strategy counts, intended for the small
+// strategy menus of the pipeline games (≤ ~8 strategies each).
+func (g *Bimatrix) SupportEnumeration() []MixedEquilibrium {
+	nr, nc := g.Rows(), g.Cols()
+	var out []MixedEquilibrium
+	maxK := nr
+	if nc < maxK {
+		maxK = nc
+	}
+	for k := 1; k <= maxK; k++ {
+		forEachSubset(nr, k, func(rows []int) {
+			forEachSubset(nc, k, func(cols []int) {
+				if eq, ok := g.trySupport(rows, cols); ok {
+					if !containsEquilibrium(out, eq) {
+						out = append(out, eq)
+					}
+				}
+			})
+		})
+	}
+	return out
+}
+
+// trySupport solves for a mixed equilibrium with the given supports.
+//
+// Unknowns for the row mixture x (over rows support) come from the
+// column player's indifference across cols; symmetrically for y.
+func (g *Bimatrix) trySupport(rows, cols []int) (MixedEquilibrium, bool) {
+	k := len(rows)
+	// Solve for y (column mixture) from row player's indifference:
+	// sum_j A[r_i][c_j] y_j = v for all i, sum y_j = 1.
+	// Variables: y_1..y_k, v  -> k+1 unknowns, k+1 equations.
+	ay := linalg.NewMatrix(k+1, k+1)
+	by := linalg.NewVector(k + 1)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			ay.Set(i, j, g.A[rows[i]][cols[j]])
+		}
+		ay.Set(i, k, -1) // -v
+	}
+	for j := 0; j < k; j++ {
+		ay.Set(k, j, 1)
+	}
+	by[k] = 1
+	ySol, err := linalg.Solve(ay, by)
+	if err != nil {
+		return MixedEquilibrium{}, false
+	}
+	// Solve for x from column player's indifference:
+	// sum_i B[r_i][c_j] x_i = w for all j, sum x_i = 1.
+	ax := linalg.NewMatrix(k+1, k+1)
+	bx := linalg.NewVector(k + 1)
+	for j := 0; j < k; j++ {
+		for i := 0; i < k; i++ {
+			ax.Set(j, i, g.B[rows[i]][cols[j]])
+		}
+		ax.Set(j, k, -1)
+	}
+	for i := 0; i < k; i++ {
+		ax.Set(k, i, 1)
+	}
+	bx[k] = 1
+	xSol, err := linalg.Solve(ax, bx)
+	if err != nil {
+		return MixedEquilibrium{}, false
+	}
+
+	const eps = 1e-9
+	x := make([]float64, g.Rows())
+	y := make([]float64, g.Cols())
+	for i := 0; i < k; i++ {
+		if xSol[i] < -eps {
+			return MixedEquilibrium{}, false
+		}
+		x[rows[i]] = math.Max(xSol[i], 0)
+	}
+	for j := 0; j < k; j++ {
+		if ySol[j] < -eps {
+			return MixedEquilibrium{}, false
+		}
+		y[cols[j]] = math.Max(ySol[j], 0)
+	}
+	vRow := ySol[k] // row player's value on support
+	wCol := xSol[k] // column player's value on support
+
+	// No profitable deviation outside the supports.
+	for i := 0; i < g.Rows(); i++ {
+		u := 0.0
+		for j := 0; j < g.Cols(); j++ {
+			u += y[j] * g.A[i][j]
+		}
+		if u > vRow+eps {
+			return MixedEquilibrium{}, false
+		}
+	}
+	for j := 0; j < g.Cols(); j++ {
+		u := 0.0
+		for i := 0; i < g.Rows(); i++ {
+			u += x[i] * g.B[i][j]
+		}
+		if u > wCol+eps {
+			return MixedEquilibrium{}, false
+		}
+	}
+	return MixedEquilibrium{Row: x, Col: y, RowVal: vRow, ColVal: wCol}, true
+}
+
+// forEachSubset enumerates k-subsets of {0..n-1} in lexicographic order.
+func forEachSubset(n, k int, f func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if d == k {
+			f(append([]int(nil), idx[:k]...))
+			return
+		}
+		for s := start; s <= n-(k-d); s++ {
+			idx[d] = s
+			rec(s+1, d+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// containsEquilibrium reports whether an equivalent equilibrium (same
+// mixtures up to 1e-6) is already listed.
+func containsEquilibrium(list []MixedEquilibrium, eq MixedEquilibrium) bool {
+	for _, e := range list {
+		same := true
+		for i := range e.Row {
+			if math.Abs(e.Row[i]-eq.Row[i]) > 1e-6 {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		for j := range e.Col {
+			if math.Abs(e.Col[j]-eq.Col[j]) > 1e-6 {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSupportEnumerationMatchingPennies(t *testing.T) {
+	g, err := NewZeroSum([][]float64{{1, -1}, {-1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs := g.SupportEnumeration()
+	if len(eqs) != 1 {
+		t.Fatalf("got %d equilibria, want 1", len(eqs))
+	}
+	eq := eqs[0]
+	for i, p := range eq.Row {
+		if math.Abs(p-0.5) > 1e-9 {
+			t.Errorf("row[%d] = %v, want 0.5", i, p)
+		}
+	}
+	for j, p := range eq.Col {
+		if math.Abs(p-0.5) > 1e-9 {
+			t.Errorf("col[%d] = %v, want 0.5", j, p)
+		}
+	}
+	if math.Abs(eq.RowVal) > 1e-9 {
+		t.Errorf("value = %v, want 0", eq.RowVal)
+	}
+}
+
+func TestSupportEnumerationBattleOfSexes(t *testing.T) {
+	// Battle of the sexes: two pure equilibria plus one mixed.
+	g, err := NewBimatrix(
+		[][]float64{{3, 0}, {0, 2}},
+		[][]float64{{2, 0}, {0, 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs := g.SupportEnumeration()
+	if len(eqs) != 3 {
+		t.Fatalf("got %d equilibria, want 3: %+v", len(eqs), eqs)
+	}
+	pure, mixed := 0, 0
+	for _, eq := range eqs {
+		isPure := true
+		for _, p := range eq.Row {
+			if p > 1e-9 && p < 1-1e-9 {
+				isPure = false
+			}
+		}
+		if isPure {
+			pure++
+		} else {
+			mixed++
+			// Mixed: row plays (3/5, 2/5)? Row indifference over B:
+			// x solves 2 x1 = 3 x2 -> x = (3/5, 2/5).
+			if math.Abs(eq.Row[0]-0.6) > 1e-9 || math.Abs(eq.Col[0]-0.4) > 1e-9 {
+				t.Errorf("mixed equilibrium = %+v, want row (0.6,0.4) col (0.4,0.6)", eq)
+			}
+		}
+	}
+	if pure != 2 || mixed != 1 {
+		t.Errorf("pure=%d mixed=%d, want 2/1", pure, mixed)
+	}
+}
+
+func TestSupportEnumerationAgreesWithPureNash(t *testing.T) {
+	g := prisoners(t)
+	eqs := g.SupportEnumeration()
+	if len(eqs) != 1 {
+		t.Fatalf("got %d equilibria, want 1", len(eqs))
+	}
+	if eqs[0].Row[1] != 1 || eqs[0].Col[1] != 1 {
+		t.Errorf("equilibrium = %+v, want pure (defect, defect)", eqs[0])
+	}
+}
+
+func TestSupportEnumerationAgreesWithFictitiousPlay(t *testing.T) {
+	// Asymmetric zero-sum game: value from support enumeration should match
+	// long fictitious play.
+	g, err := NewZeroSum([][]float64{
+		{2, -1, 0},
+		{-1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs := g.SupportEnumeration()
+	if len(eqs) == 0 {
+		t.Fatal("no equilibrium found")
+	}
+	fpVal := g.MinimaxValue(30000)
+	if math.Abs(eqs[0].RowVal-fpVal) > 0.02 {
+		t.Errorf("support value %v vs fictitious play %v", eqs[0].RowVal, fpVal)
+	}
+}
+
+func TestForEachSubset(t *testing.T) {
+	var subs [][]int
+	forEachSubset(4, 2, func(s []int) { subs = append(subs, s) })
+	if len(subs) != 6 {
+		t.Fatalf("got %d subsets, want 6", len(subs))
+	}
+	if subs[0][0] != 0 || subs[0][1] != 1 || subs[5][0] != 2 || subs[5][1] != 3 {
+		t.Errorf("subsets = %v", subs)
+	}
+}

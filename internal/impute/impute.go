@@ -1,0 +1,365 @@
+// Package impute implements the missing-value imputation operators Section
+// IV singles out as "among the preprocessing operations that are most
+// critical to the subsequent analytics": column statistics (mean, median,
+// mode), hot-deck, k-nearest-neighbour, and regression imputation.
+//
+// All imputers share one interface over a value matrix plus missingness
+// mask, so the pipeline and the adversarial players can swap strategies.
+package impute
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Imputer fills missing cells of x (marked by mask) in place and returns
+// the number of cells filled. Implementations must leave observed cells
+// untouched.
+type Imputer interface {
+	Impute(x [][]float64, mask [][]bool) (int, error)
+	String() string
+}
+
+func validate(x [][]float64, mask [][]bool) error {
+	if len(x) != len(mask) {
+		return fmt.Errorf("impute: %d data rows but %d mask rows", len(x), len(mask))
+	}
+	for i := range x {
+		if len(x[i]) != len(mask[i]) {
+			return fmt.Errorf("impute: row %d has %d values but %d mask cells", i, len(x[i]), len(mask[i]))
+		}
+	}
+	return nil
+}
+
+// columnObserved gathers the observed values of column j.
+func columnObserved(x [][]float64, mask [][]bool, j int) []float64 {
+	var out []float64
+	for i := range x {
+		if !mask[i][j] {
+			out = append(out, x[i][j])
+		}
+	}
+	return out
+}
+
+// fillColumnwise applies a per-column statistic to every missing cell.
+func fillColumnwise(x [][]float64, mask [][]bool, stat func([]float64) float64) (int, error) {
+	if err := validate(x, mask); err != nil {
+		return 0, err
+	}
+	if len(x) == 0 {
+		return 0, nil
+	}
+	filled := 0
+	for j := range x[0] {
+		obs := columnObserved(x, mask, j)
+		v := stat(obs) // statistic of an empty column defaults to 0
+		for i := range x {
+			if mask[i][j] {
+				x[i][j] = v
+				filled++
+			}
+		}
+	}
+	return filled, nil
+}
+
+// Mean imputes column means.
+type Mean struct{}
+
+// Impute implements Imputer.
+func (Mean) Impute(x [][]float64, mask [][]bool) (int, error) {
+	return fillColumnwise(x, mask, stats.Mean)
+}
+
+func (Mean) String() string { return "mean" }
+
+// Median imputes column medians.
+type Median struct{}
+
+// Impute implements Imputer.
+func (Median) Impute(x [][]float64, mask [][]bool) (int, error) {
+	return fillColumnwise(x, mask, stats.Median)
+}
+
+func (Median) String() string { return "median" }
+
+// Mode imputes column modes (useful for discretized data).
+type Mode struct{}
+
+// Impute implements Imputer.
+func (Mode) Impute(x [][]float64, mask [][]bool) (int, error) {
+	return fillColumnwise(x, mask, stats.Mode)
+}
+
+func (Mode) String() string { return "mode" }
+
+// HotDeck fills each missing cell with the value from the nearest observed
+// row (distance over the columns both rows observe).
+type HotDeck struct{}
+
+func (HotDeck) String() string { return "hotdeck" }
+
+// Impute implements Imputer.
+func (HotDeck) Impute(x [][]float64, mask [][]bool) (int, error) {
+	return knnFill(x, mask, 1)
+}
+
+// KNN fills each missing cell with the mean of the k nearest rows that
+// observe that cell.
+type KNN struct {
+	K int // default 3
+}
+
+func (k KNN) String() string { return fmt.Sprintf("knn(k=%d)", k.k()) }
+
+func (k KNN) k() int {
+	if k.K <= 0 {
+		return 3
+	}
+	return k.K
+}
+
+// Impute implements Imputer.
+func (k KNN) Impute(x [][]float64, mask [][]bool) (int, error) {
+	return knnFill(x, mask, k.k())
+}
+
+// knnFill is the shared nearest-neighbour engine. Distances use only
+// co-observed columns, normalized by their count; rows with no co-observed
+// column are infinitely far. Cells with no donor fall back to column mean.
+func knnFill(x [][]float64, mask [][]bool, k int) (int, error) {
+	if err := validate(x, mask); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if n == 0 {
+		return 0, nil
+	}
+	d := len(x[0])
+	// Snapshot, so donors are original observations, not freshly imputed
+	// values (avoids order-dependent feedback).
+	orig := make([][]float64, n)
+	for i := range x {
+		orig[i] = append([]float64(nil), x[i]...)
+	}
+	dist := func(a, b int) float64 {
+		s, cnt := 0.0, 0
+		for j := 0; j < d; j++ {
+			if !mask[a][j] && !mask[b][j] {
+				diff := orig[a][j] - orig[b][j]
+				s += diff * diff
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return math.Inf(1)
+		}
+		return s / float64(cnt)
+	}
+	colMeans := make([]float64, d)
+	for j := 0; j < d; j++ {
+		colMeans[j] = stats.Mean(columnObserved(orig, mask, j))
+	}
+	filled := 0
+	for i := 0; i < n; i++ {
+		var missing []int
+		for j := 0; j < d; j++ {
+			if mask[i][j] {
+				missing = append(missing, j)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		type nb struct {
+			row  int
+			dist float64
+		}
+		var nbs []nb
+		for r := 0; r < n; r++ {
+			if r == i {
+				continue
+			}
+			if dd := dist(i, r); !math.IsInf(dd, 1) {
+				nbs = append(nbs, nb{row: r, dist: dd})
+			}
+		}
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].dist < nbs[b].dist })
+		for _, j := range missing {
+			var donors []float64
+			for _, cand := range nbs {
+				if !mask[cand.row][j] {
+					donors = append(donors, orig[cand.row][j])
+					if len(donors) == k {
+						break
+					}
+				}
+			}
+			if len(donors) > 0 {
+				x[i][j] = stats.Mean(donors)
+			} else {
+				x[i][j] = colMeans[j]
+			}
+			filled++
+		}
+	}
+	return filled, nil
+}
+
+// Regression imputes each missing cell by a univariate least-squares fit on
+// the observed column most correlated with the target column (falling back
+// to the column mean when no usable predictor exists).
+type Regression struct{}
+
+func (Regression) String() string { return "regression" }
+
+// Impute implements Imputer.
+func (Regression) Impute(x [][]float64, mask [][]bool) (int, error) {
+	if err := validate(x, mask); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if n == 0 {
+		return 0, nil
+	}
+	d := len(x[0])
+	orig := make([][]float64, n)
+	for i := range x {
+		orig[i] = append([]float64(nil), x[i]...)
+	}
+	colMeans := make([]float64, d)
+	for j := 0; j < d; j++ {
+		colMeans[j] = stats.Mean(columnObserved(orig, mask, j))
+	}
+	// Pairwise correlation on co-observed rows.
+	corr := func(a, b int) (slope, intercept, r float64, ok bool) {
+		var xs, ys []float64
+		for i := 0; i < n; i++ {
+			if !mask[i][a] && !mask[i][b] {
+				xs = append(xs, orig[i][b])
+				ys = append(ys, orig[i][a])
+			}
+		}
+		if len(xs) < 3 {
+			return 0, 0, 0, false
+		}
+		mx, my := stats.Mean(xs), stats.Mean(ys)
+		var sxy, sxx, syy float64
+		for i := range xs {
+			sxy += (xs[i] - mx) * (ys[i] - my)
+			sxx += (xs[i] - mx) * (xs[i] - mx)
+			syy += (ys[i] - my) * (ys[i] - my)
+		}
+		if sxx < 1e-12 || syy < 1e-12 {
+			return 0, 0, 0, false
+		}
+		slope = sxy / sxx
+		return slope, my - slope*mx, sxy / math.Sqrt(sxx*syy), true
+	}
+	filled := 0
+	for j := 0; j < d; j++ {
+		// Pick the best predictor column for target j.
+		bestB, bestAbsR := -1, 0.0
+		var bestSlope, bestIcpt float64
+		for b := 0; b < d; b++ {
+			if b == j {
+				continue
+			}
+			slope, icpt, r, ok := corr(j, b)
+			if ok && math.Abs(r) > bestAbsR {
+				bestB, bestAbsR = b, math.Abs(r)
+				bestSlope, bestIcpt = slope, icpt
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !mask[i][j] {
+				continue
+			}
+			if bestB >= 0 && !mask[i][bestB] {
+				x[i][j] = bestIcpt + bestSlope*orig[i][bestB]
+			} else {
+				x[i][j] = colMeans[j]
+			}
+			filled++
+		}
+	}
+	return filled, nil
+}
+
+var (
+	_ Imputer = Mean{}
+	_ Imputer = Median{}
+	_ Imputer = Mode{}
+	_ Imputer = HotDeck{}
+	_ Imputer = KNN{}
+	_ Imputer = Regression{}
+)
+
+// InterpolateColumns fills missing cells by per-column linear interpolation
+// over the row timestamps — the "alignment of data from different
+// dimensions, interpolation/extrapolation" preparation task of Section I-B,
+// and the natural imputer for records produced by time-stamp merging.
+// Rows must be ordered by non-decreasing time. Cells before the first or
+// after the last observation take the nearest observed value; columns with
+// no observation fall back to 0.
+func InterpolateColumns(times []float64, x [][]float64, mask [][]bool) (int, error) {
+	if err := validate(x, mask); err != nil {
+		return 0, err
+	}
+	if len(times) != len(x) {
+		return 0, fmt.Errorf("impute: %d timestamps for %d rows", len(times), len(x))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return 0, fmt.Errorf("impute: timestamps not sorted at row %d", i)
+		}
+	}
+	n := len(x)
+	if n == 0 {
+		return 0, nil
+	}
+	d := len(x[0])
+	filled := 0
+	for j := 0; j < d; j++ {
+		// Observed row indices for this column.
+		var obs []int
+		for i := 0; i < n; i++ {
+			if !mask[i][j] {
+				obs = append(obs, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !mask[i][j] {
+				continue
+			}
+			filled++
+			if len(obs) == 0 {
+				x[i][j] = 0
+				continue
+			}
+			// Locate the bracketing observations.
+			k := sort.Search(len(obs), func(k int) bool { return obs[k] > i })
+			switch {
+			case k == 0:
+				x[i][j] = x[obs[0]][j]
+			case k == len(obs):
+				x[i][j] = x[obs[len(obs)-1]][j]
+			default:
+				lo, hi := obs[k-1], obs[k]
+				t0, t1 := times[lo], times[hi]
+				if t1-t0 < 1e-12 {
+					x[i][j] = (x[lo][j] + x[hi][j]) / 2
+					continue
+				}
+				w := (times[i] - t0) / (t1 - t0)
+				x[i][j] = (1-w)*x[lo][j] + w*x[hi][j]
+			}
+		}
+	}
+	return filled, nil
+}

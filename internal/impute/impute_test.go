@@ -1,0 +1,305 @@
+package impute
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func grid(vals [][]float64, miss [][2]int) ([][]float64, [][]bool) {
+	x := make([][]float64, len(vals))
+	mask := make([][]bool, len(vals))
+	for i := range vals {
+		x[i] = append([]float64(nil), vals[i]...)
+		mask[i] = make([]bool, len(vals[i]))
+	}
+	for _, m := range miss {
+		mask[m[0]][m[1]] = true
+		x[m[0]][m[1]] = 0
+	}
+	return x, mask
+}
+
+func TestMeanImputation(t *testing.T) {
+	x, mask := grid([][]float64{{1, 10}, {3, 20}, {5, 30}}, [][2]int{{1, 0}})
+	n, err := Mean{}.Impute(x, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("filled = %d, want 1", n)
+	}
+	if x[1][0] != 3 { // mean of 1, 5
+		t.Errorf("imputed = %v, want 3", x[1][0])
+	}
+	if x[0][0] != 1 || x[2][1] != 30 {
+		t.Error("observed cells modified")
+	}
+}
+
+func TestMedianImputation(t *testing.T) {
+	x, mask := grid([][]float64{{1}, {2}, {100}, {0}}, [][2]int{{3, 0}})
+	if _, err := (Median{}).Impute(x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if x[3][0] != 2 { // median of 1, 2, 100
+		t.Errorf("imputed = %v, want 2", x[3][0])
+	}
+}
+
+func TestModeImputation(t *testing.T) {
+	x, mask := grid([][]float64{{1}, {1}, {2}, {0}}, [][2]int{{3, 0}})
+	if _, err := (Mode{}).Impute(x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if x[3][0] != 1 {
+		t.Errorf("imputed = %v, want 1", x[3][0])
+	}
+}
+
+func TestHotDeckUsesNearestRow(t *testing.T) {
+	// Row 2 is nearest to row 0 on the observed column; its missing cell
+	// should take row 0's value.
+	x, mask := grid([][]float64{
+		{0, 100},
+		{10, 200},
+		{0.1, 0},
+	}, [][2]int{{2, 1}})
+	if _, err := (HotDeck{}).Impute(x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if x[2][1] != 100 {
+		t.Errorf("hot-deck imputed %v, want 100 (nearest donor)", x[2][1])
+	}
+}
+
+func TestKNNAveragesDonors(t *testing.T) {
+	x, mask := grid([][]float64{
+		{0, 10},
+		{0.1, 20},
+		{5, 999},
+		{0.05, 0},
+	}, [][2]int{{3, 1}})
+	if _, err := (KNN{K: 2}).Impute(x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if x[3][1] != 15 { // mean of two nearest donors 10, 20
+		t.Errorf("knn imputed %v, want 15", x[3][1])
+	}
+}
+
+func TestKNNFallsBackToColumnMean(t *testing.T) {
+	// Single row: no donors at all.
+	x, mask := grid([][]float64{{1, 0}}, [][2]int{{0, 1}})
+	if _, err := (KNN{}).Impute(x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if x[0][1] != 0 { // empty column mean = 0
+		t.Errorf("fallback = %v, want 0", x[0][1])
+	}
+}
+
+func TestRegressionImputesLinearStructure(t *testing.T) {
+	// Column 0 = 2 * column 1 exactly; regression should recover it.
+	x, mask := grid([][]float64{
+		{2, 1},
+		{4, 2},
+		{6, 3},
+		{8, 4},
+		{0, 5},
+	}, [][2]int{{4, 0}})
+	if _, err := (Regression{}).Impute(x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[4][0]-10) > 1e-9 {
+		t.Errorf("regression imputed %v, want 10", x[4][0])
+	}
+}
+
+func TestRegressionFallsBackWithoutPredictor(t *testing.T) {
+	// Too few co-observed rows for a fit: falls back to the column mean.
+	x, mask := grid([][]float64{{1, 5}, {3, 0}}, [][2]int{{1, 1}})
+	if _, err := (Regression{}).Impute(x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if x[1][1] != 5 {
+		t.Errorf("fallback = %v, want column mean 5", x[1][1])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	for _, im := range []Imputer{Mean{}, Median{}, Mode{}, HotDeck{}, KNN{}, Regression{}} {
+		if _, err := im.Impute([][]float64{{1}}, [][]bool{}); err == nil {
+			t.Errorf("%v: row count mismatch accepted", im)
+		}
+		if _, err := im.Impute([][]float64{{1}}, [][]bool{{true, false}}); err == nil {
+			t.Errorf("%v: cell count mismatch accepted", im)
+		}
+		if n, err := im.Impute(nil, nil); err != nil || n != 0 {
+			t.Errorf("%v: empty input should be a no-op, got n=%d err=%v", im, n, err)
+		}
+	}
+}
+
+func TestImputersPreserveObservedCellsProperty(t *testing.T) {
+	imputers := []Imputer{Mean{}, Median{}, Mode{}, HotDeck{}, KNN{K: 2}, Regression{}}
+	f := func(seed uint32, which uint8) bool {
+		rng := stats.NewRNG(int64(seed))
+		n, d := 3+rng.Intn(10), 2+rng.Intn(4)
+		x := make([][]float64, n)
+		mask := make([][]bool, n)
+		orig := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = make([]float64, d)
+			mask[i] = make([]bool, d)
+			for j := 0; j < d; j++ {
+				x[i][j] = rng.NormFloat64() * 3
+				mask[i][j] = rng.Float64() < 0.3
+				if mask[i][j] {
+					x[i][j] = 0
+				}
+			}
+			orig[i] = append([]float64(nil), x[i]...)
+		}
+		im := imputers[int(which)%len(imputers)]
+		filled, err := im.Impute(x, mask)
+		if err != nil {
+			return false
+		}
+		wantFilled := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				if mask[i][j] {
+					wantFilled++
+					if math.IsNaN(x[i][j]) || math.IsInf(x[i][j], 0) {
+						return false
+					}
+				} else if x[i][j] != orig[i][j] {
+					return false // observed cell modified
+				}
+			}
+		}
+		return filled == wantFilled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImputationQualityOrderingOnStructuredData(t *testing.T) {
+	// On strongly correlated columns, KNN and regression should beat the
+	// column mean in RMSE against ground truth.
+	rng := stats.NewRNG(42)
+	n := 200
+	truth := make([][]float64, n)
+	for i := range truth {
+		base := rng.NormFloat64() * 2
+		truth[i] = []float64{base, 2 * base, -base + rng.NormFloat64()*0.1}
+	}
+	rmseFor := func(im Imputer) float64 {
+		x := make([][]float64, n)
+		mask := make([][]bool, n)
+		rng2 := stats.NewRNG(7)
+		var predCells []float64
+		var truthCells []float64
+		for i := range truth {
+			x[i] = append([]float64(nil), truth[i]...)
+			mask[i] = make([]bool, 3)
+			for j := 0; j < 3; j++ {
+				if rng2.Float64() < 0.2 {
+					mask[i][j] = true
+					x[i][j] = 0
+				}
+			}
+		}
+		if _, err := im.Impute(x, mask); err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth {
+			for j := 0; j < 3; j++ {
+				if mask[i][j] {
+					predCells = append(predCells, x[i][j])
+					truthCells = append(truthCells, truth[i][j])
+				}
+			}
+		}
+		return stats.RMSE(predCells, truthCells)
+	}
+	meanErr := rmseFor(Mean{})
+	knnErr := rmseFor(KNN{K: 3})
+	regErr := rmseFor(Regression{})
+	if knnErr >= meanErr {
+		t.Errorf("KNN RMSE %v should beat mean %v on correlated data", knnErr, meanErr)
+	}
+	if regErr >= meanErr {
+		t.Errorf("regression RMSE %v should beat mean %v on correlated data", regErr, meanErr)
+	}
+}
+
+func TestInterpolateColumnsBasic(t *testing.T) {
+	times := []float64{0, 1, 2, 3}
+	x, mask := grid([][]float64{{10}, {0}, {0}, {40}}, [][2]int{{1, 0}, {2, 0}})
+	n, err := InterpolateColumns(times, x, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("filled = %d, want 2", n)
+	}
+	if x[1][0] != 20 || x[2][0] != 30 {
+		t.Errorf("interpolated = %v %v, want 20 30", x[1][0], x[2][0])
+	}
+}
+
+func TestInterpolateColumnsEdgesAndEmpty(t *testing.T) {
+	times := []float64{0, 1, 2}
+	x, mask := grid([][]float64{{0, 0}, {5, 0}, {0, 0}}, [][2]int{{0, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}})
+	if _, err := InterpolateColumns(times, x, mask); err != nil {
+		t.Fatal(err)
+	}
+	// Edges take nearest observation.
+	if x[0][0] != 5 || x[2][0] != 5 {
+		t.Errorf("edges = %v %v, want 5 5", x[0][0], x[2][0])
+	}
+	// Fully missing column falls back to 0.
+	if x[1][1] != 0 {
+		t.Errorf("empty column fill = %v, want 0", x[1][1])
+	}
+}
+
+func TestInterpolateColumnsNonuniformTimes(t *testing.T) {
+	times := []float64{0, 3, 4}
+	x, mask := grid([][]float64{{0}, {0}, {8}}, [][2]int{{1, 0}})
+	if _, err := InterpolateColumns(times, x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if x[1][0] != 6 { // 3/4 of the way from 0 to 8
+		t.Errorf("interpolated = %v, want 6", x[1][0])
+	}
+}
+
+func TestInterpolateColumnsValidation(t *testing.T) {
+	x, mask := grid([][]float64{{1}, {2}}, nil)
+	if _, err := InterpolateColumns([]float64{0}, x, mask); err == nil {
+		t.Error("timestamp count mismatch accepted")
+	}
+	if _, err := InterpolateColumns([]float64{1, 0}, x, mask); err == nil {
+		t.Error("unsorted timestamps accepted")
+	}
+	if n, err := InterpolateColumns(nil, nil, nil); err != nil || n != 0 {
+		t.Errorf("empty input should be a no-op: n=%d err=%v", n, err)
+	}
+}
+
+func TestInterpolateCoincidentTimestamps(t *testing.T) {
+	times := []float64{0, 0, 0}
+	x, mask := grid([][]float64{{2}, {0}, {6}}, [][2]int{{1, 0}})
+	if _, err := InterpolateColumns(times, x, mask); err != nil {
+		t.Fatal(err)
+	}
+	if x[1][0] != 4 { // average of bracketing coincident stamps
+		t.Errorf("coincident fill = %v, want 4", x[1][0])
+	}
+}

@@ -1,0 +1,141 @@
+package kernelmachine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PlattScaler maps raw decision scores to calibrated probabilities
+// P(y = +1 | s) = 1 / (1 + exp(A·s + B)) — the veracity information
+// Section IV demands of a useful predictive model ("a predictive model is
+// useful, in practice, if it provides also information on the veracity of
+// its predictions"). For well-oriented scores A is negative.
+type PlattScaler struct {
+	A, B float64
+}
+
+// FitPlatt fits the scaler on held-out (score, label) pairs by Newton
+// iterations with backtracking on the regularized negative log-likelihood
+// — a transcription of the Lin–Weng–Keerthi (2007) revision of Platt's
+// algorithm, including its smoothed targets.
+func FitPlatt(scores []float64, y []int) (*PlattScaler, error) {
+	if len(scores) != len(y) {
+		return nil, fmt.Errorf("kernelmachine: %d scores for %d labels", len(scores), len(y))
+	}
+	if len(scores) == 0 {
+		return nil, errors.New("kernelmachine: empty calibration set")
+	}
+	var prior0, prior1 float64 // negatives, positives
+	for _, v := range y {
+		switch v {
+		case 1:
+			prior1++
+		case -1:
+			prior0++
+		default:
+			return nil, fmt.Errorf("kernelmachine: label %d not in {-1,+1}", v)
+		}
+	}
+	hiTarget := (prior1 + 1) / (prior1 + 2)
+	loTarget := 1 / (prior0 + 2)
+	t := make([]float64, len(y))
+	for i, v := range y {
+		if v == 1 {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+		eps     = 1e-5
+	)
+	a, b := 0.0, math.Log((prior0+1)/(prior1+1))
+
+	fval := 0.0
+	for i, s := range scores {
+		fApB := s*a + b
+		if fApB >= 0 {
+			fval += t[i]*fApB + math.Log(1+math.Exp(-fApB))
+		} else {
+			fval += (t[i]-1)*fApB + math.Log(1+math.Exp(fApB))
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		h11, h22 := sigma, sigma
+		h21, g1, g2 := 0.0, 0.0, 0.0
+		for i, s := range scores {
+			fApB := s*a + b
+			var p, q float64
+			if fApB >= 0 {
+				p = math.Exp(-fApB) / (1 + math.Exp(-fApB))
+				q = 1 / (1 + math.Exp(-fApB))
+			} else {
+				p = 1 / (1 + math.Exp(fApB))
+				q = math.Exp(fApB) / (1 + math.Exp(fApB))
+			}
+			d2 := p * q
+			h11 += s * s * d2
+			h22 += d2
+			h21 += s * d2
+			d1 := t[i] - p
+			g1 += s * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < eps && math.Abs(g2) < eps {
+			break
+		}
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+
+		stepSize := 1.0
+		for stepSize >= minStep {
+			newA := a + stepSize*dA
+			newB := b + stepSize*dB
+			newF := 0.0
+			for i, s := range scores {
+				fApB := s*newA + newB
+				if fApB >= 0 {
+					newF += t[i]*fApB + math.Log(1+math.Exp(-fApB))
+				} else {
+					newF += (t[i]-1)*fApB + math.Log(1+math.Exp(fApB))
+				}
+			}
+			if newF < fval+1e-4*stepSize*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			stepSize /= 2
+		}
+		if stepSize < minStep {
+			break
+		}
+	}
+	return &PlattScaler{A: a, B: b}, nil
+}
+
+// Prob returns the calibrated probability of the positive class.
+func (p *PlattScaler) Prob(score float64) float64 {
+	fApB := p.A*score + p.B
+	if fApB >= 0 {
+		e := math.Exp(-fApB)
+		return e / (1 + e)
+	}
+	return 1 / (1 + math.Exp(fApB))
+}
+
+// Probs maps a score slice through the scaler.
+func (p *PlattScaler) Probs(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	for i, s := range scores {
+		out[i] = p.Prob(s)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package kernelmachine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+func TestFitPlattRecoverySigmoid(t *testing.T) {
+	// Labels drawn from a known sigmoid of the score: the fitted scaler
+	// should approximately recover the probabilities.
+	rng := stats.NewRNG(1)
+	n := 2000
+	scores := make([]float64, n)
+	y := make([]int, n)
+	trueProb := func(s float64) float64 { return 1 / (1 + math.Exp(-2*s)) }
+	for i := range scores {
+		scores[i] = rng.NormFloat64() * 1.5
+		if rng.Float64() < trueProb(scores[i]) {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	ps, err := FitPlatt(scores, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []float64{-2, -1, 0, 1, 2} {
+		if got, want := ps.Prob(s), trueProb(s); math.Abs(got-want) > 0.08 {
+			t.Errorf("Prob(%v) = %v, want ≈ %v", s, got, want)
+		}
+	}
+	// Calibration error should be small.
+	if ece := stats.ECE(ps.Probs(scores), y, 10); ece > 0.05 {
+		t.Errorf("ECE = %v, want < 0.05", ece)
+	}
+}
+
+func TestFitPlattMonotone(t *testing.T) {
+	scores := []float64{-2, -1, -0.5, 0.5, 1, 2}
+	y := []int{-1, -1, -1, 1, 1, 1}
+	ps, err := FitPlatt(scores, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, s := range []float64{-3, -1, 0, 1, 3} {
+		p := ps.Prob(s)
+		if p < prev {
+			t.Fatalf("Prob not monotone at %v", s)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("Prob(%v) = %v outside [0,1]", s, p)
+		}
+		prev = p
+	}
+	if ps.Prob(3) < 0.5 {
+		t.Error("high score should give high probability")
+	}
+}
+
+func TestFitPlattValidation(t *testing.T) {
+	if _, err := FitPlatt([]float64{1}, []int{1, -1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitPlatt(nil, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := FitPlatt([]float64{1}, []int{0}); err == nil {
+		t.Error("bad label accepted")
+	}
+}
+
+func TestCalibratedSVMPipeline(t *testing.T) {
+	// End-to-end: train SVM, calibrate on a holdout, check the calibrated
+	// probabilities order test points sensibly.
+	xTr, yTr := linearlySeparable(80, 1.0, 30)
+	xCal, yCal := linearlySeparable(60, 1.0, 31)
+	gram := kernel.Gram(kernel.Linear{}, xTr)
+	m, err := SVM{C: 1}.Train(gram, yTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calScores := m.Scores(kernel.CrossGram(kernel.Linear{}, xCal, xTr))
+	ps, err := FitPlatt(calScores, yCal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deep-positive point gets a higher probability than a deep-negative.
+	test := [][]float64{{3, 0}, {-3, 0}}
+	probs := ps.Probs(m.Scores(kernel.CrossGram(kernel.Linear{}, test, xTr)))
+	if probs[0] < 0.8 || probs[1] > 0.2 {
+		t.Errorf("probs = %v, want confident and ordered", probs)
+	}
+}

@@ -1,0 +1,319 @@
+// Package kernelmachine implements the kernel learners that consume
+// multiple-kernel configurations: a binary SVM trained by SMO on a
+// precomputed Gram matrix, kernel ridge regression/classification, and a
+// kernel perceptron. Working on precomputed Grams is the natural interface
+// for the lattice search, which evaluates many kernel configurations on one
+// training set.
+package kernelmachine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Model is a trained kernel machine: it scores test points given the
+// cross-Gram matrix (rows = test points, cols = training points).
+type Model interface {
+	// Scores returns the real-valued decision scores for the rows of cross.
+	Scores(cross *linalg.Matrix) []float64
+}
+
+// Trainer fits a Model from a training Gram matrix and ±1 labels.
+type Trainer interface {
+	Train(gram *linalg.Matrix, y []int) (Model, error)
+	String() string
+}
+
+// Classify converts scores to ±1 labels (score 0 goes to +1).
+func Classify(scores []float64) []int {
+	out := make([]int, len(scores))
+	for i, s := range scores {
+		if s >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func validate(gram *linalg.Matrix, y []int) error {
+	if gram.Rows != gram.Cols {
+		return fmt.Errorf("kernelmachine: gram is %dx%d, want square", gram.Rows, gram.Cols)
+	}
+	if gram.Rows != len(y) {
+		return fmt.Errorf("kernelmachine: %d labels for %d training points", len(y), gram.Rows)
+	}
+	if len(y) == 0 {
+		return errors.New("kernelmachine: empty training set")
+	}
+	for _, v := range y {
+		if v != 1 && v != -1 {
+			return fmt.Errorf("kernelmachine: label %d not in {-1,+1}", v)
+		}
+	}
+	return nil
+}
+
+// dualModel is the shared prediction form: score(x) = Σ coeff_i K(x_i, x) + b.
+type dualModel struct {
+	coeff []float64 // alpha_i * y_i for SVM; alpha_i for ridge
+	b     float64
+}
+
+// Scores implements Model.
+func (m *dualModel) Scores(cross *linalg.Matrix) []float64 {
+	out := make([]float64, cross.Rows)
+	for i := 0; i < cross.Rows; i++ {
+		s := m.b
+		for j, c := range m.coeff {
+			s += c * cross.At(i, j)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Coefficients returns a copy of the dual coefficients (alpha_i y_i).
+func (m *dualModel) Coefficients() []float64 { return append([]float64(nil), m.coeff...) }
+
+// Bias returns the intercept.
+func (m *dualModel) Bias() float64 { return m.b }
+
+// SVM trains a soft-margin binary SVM with simplified SMO (Platt's
+// heuristics reduced to random second-choice, as in the classic CS229
+// simplification — adequate at the data scales of the lattice search).
+type SVM struct {
+	C         float64 // soft-margin penalty (default 1)
+	Tol       float64 // KKT tolerance (default 1e-3)
+	MaxPasses int     // passes with no alpha change before stopping (default 5)
+	MaxIter   int     // hard iteration cap (default 200 sweeps)
+	Seed      int64   // RNG seed for second-choice heuristic
+}
+
+func (s SVM) String() string { return fmt.Sprintf("svm(C=%g)", s.c()) }
+
+func (s SVM) c() float64 {
+	if s.C <= 0 {
+		return 1
+	}
+	return s.C
+}
+
+// Train implements Trainer.
+func (s SVM) Train(gram *linalg.Matrix, y []int) (Model, error) {
+	if err := validate(gram, y); err != nil {
+		return nil, err
+	}
+	n := len(y)
+	c := s.c()
+	tol := s.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 5
+	}
+	maxIter := s.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+
+	alpha := make([]float64, n)
+	b := 0.0
+	fy := make([]float64, n)
+	for i, v := range y {
+		fy[i] = float64(v)
+	}
+	score := func(i int) float64 {
+		sum := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				sum += alpha[j] * fy[j] * gram.At(j, i)
+			}
+		}
+		return sum
+	}
+
+	passes, iter := 0, 0
+	for passes < maxPasses && iter < maxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := score(i) - fy[i]
+			if !((fy[i]*ei < -tol && alpha[i] < c) || (fy[i]*ei > tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := score(j) - fy[j]
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = maxf(0, aj-ai)
+				hi = minf(c, c+aj-ai)
+			} else {
+				lo = maxf(0, ai+aj-c)
+				hi = minf(c, ai+aj)
+			}
+			if hi-lo < 1e-12 {
+				continue
+			}
+			eta := 2*gram.At(i, j) - gram.At(i, i) - gram.At(j, j)
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - fy[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if absf(ajNew-aj) < 1e-7 {
+				continue
+			}
+			aiNew := ai + fy[i]*fy[j]*(aj-ajNew)
+			b1 := b - ei - fy[i]*(aiNew-ai)*gram.At(i, i) - fy[j]*(ajNew-aj)*gram.At(i, j)
+			b2 := b - ej - fy[i]*(aiNew-ai)*gram.At(i, j) - fy[j]*(ajNew-aj)*gram.At(j, j)
+			switch {
+			case aiNew > 0 && aiNew < c:
+				b = b1
+			case ajNew > 0 && ajNew < c:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			alpha[i], alpha[j] = aiNew, ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+		iter++
+	}
+
+	coeff := make([]float64, n)
+	for i := range coeff {
+		coeff[i] = alpha[i] * fy[i]
+	}
+	return &dualModel{coeff: coeff, b: b}, nil
+}
+
+// Ridge trains kernel ridge classification: solve (K + λI) α = y and score
+// by Σ α_i K(x_i, x). Deterministic and fast — the default learner for
+// lattice search, where thousands of configurations are evaluated.
+type Ridge struct {
+	Lambda float64 // regularization (default 1e-2)
+}
+
+func (r Ridge) String() string { return fmt.Sprintf("ridge(λ=%g)", r.lambda()) }
+
+func (r Ridge) lambda() float64 {
+	if r.Lambda <= 0 {
+		return 1e-2
+	}
+	return r.Lambda
+}
+
+// Train implements Trainer.
+func (r Ridge) Train(gram *linalg.Matrix, y []int) (Model, error) {
+	if err := validate(gram, y); err != nil {
+		return nil, err
+	}
+	n := len(y)
+	k := gram.Clone()
+	k.AddScaledDiag(r.lambda() * float64(n) / 10)
+	rhs := linalg.NewVector(n)
+	for i, v := range y {
+		rhs[i] = float64(v)
+	}
+	alpha, err := linalg.SolveSPD(k, rhs)
+	if err != nil {
+		// Fall back to a heavier ridge before giving up.
+		k = gram.Clone()
+		k.AddScaledDiag(1 + r.lambda()*float64(n))
+		alpha, err = linalg.SolveSPD(k, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("kernelmachine: ridge solve failed: %w", err)
+		}
+	}
+	return &dualModel{coeff: alpha}, nil
+}
+
+// Perceptron trains a kernel perceptron for a fixed number of epochs.
+type Perceptron struct {
+	Epochs int // default 20
+}
+
+func (p Perceptron) String() string { return fmt.Sprintf("perceptron(e=%d)", p.epochs()) }
+
+func (p Perceptron) epochs() int {
+	if p.Epochs <= 0 {
+		return 20
+	}
+	return p.Epochs
+}
+
+// Train implements Trainer.
+func (p Perceptron) Train(gram *linalg.Matrix, y []int) (Model, error) {
+	if err := validate(gram, y); err != nil {
+		return nil, err
+	}
+	n := len(y)
+	coeff := make([]float64, n)
+	for epoch := 0; epoch < p.epochs(); epoch++ {
+		mistakes := 0
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				if coeff[j] != 0 {
+					s += coeff[j] * gram.At(j, i)
+				}
+			}
+			if s*float64(y[i]) <= 0 {
+				coeff[i] += float64(y[i])
+				mistakes++
+			}
+		}
+		if mistakes == 0 {
+			break
+		}
+	}
+	return &dualModel{coeff: coeff}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absf(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+var (
+	_ Trainer = SVM{}
+	_ Trainer = Ridge{}
+	_ Trainer = Perceptron{}
+	_ Model   = (*dualModel)(nil)
+)

@@ -1,0 +1,510 @@
+// Package mkl implements the paper's primary contribution (Section III):
+// partition-driven multiple kernel learning. Every partition of the feature
+// set induces a multiple-kernel configuration (one block kernel per block);
+// the learner explores the partition lattice for the configuration that
+// maximizes validated performance.
+//
+// Three exploration strategies are provided, matching the paper's cost
+// analysis:
+//
+//   - ExhaustiveCone enumerates the full lower cone of a two-block seed
+//     partition (K, S−K), refining S−K in every possible way. Its cost is
+//     Bell(|S−K|) evaluations — the sums of Stirling numbers the paper
+//     cites as infeasible.
+//   - ChainSearch walks one saturated symmetric chain of the
+//     Loeb–Damiani–D'Antona decomposition of the cone, after ordering the
+//     free features by single-feature kernel-target alignment so the
+//     chain's canonical merges follow the data. Its cost is |S−K|
+//     evaluations — the linear strategy the paper proposes.
+//   - GreedyRefine hill-climbs through lower covers (block splits) — the
+//     natural local-search ablation, costing O(width) evaluations per step.
+//
+// The seed partition is chosen dynamically with rough-set approximation
+// accuracy on the benchmark concept (SeedFromRoughSet), as Section III
+// prescribes, "as opposed to statically, based on semantic distance
+// between features".
+package mkl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chains"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/kernelmachine"
+	"repro/internal/linalg"
+	"repro/internal/partition"
+	"repro/internal/rough"
+	"repro/internal/stats"
+)
+
+// Objective selects the score a partition's kernel configuration receives.
+type Objective int
+
+const (
+	// CVAccuracy is k-fold cross-validated classification accuracy — the
+	// expensive, faithful objective.
+	CVAccuracy Objective = iota
+	// KernelAlignment is centered kernel-target alignment — a cheap proxy
+	// used in ablations and as a pre-filter.
+	KernelAlignment
+)
+
+// Config assembles the pieces of a partition-driven MKL run. Zero values
+// select reasonable defaults (RBF blocks, sum combiner, ridge learner,
+// 4-fold CV).
+type Config struct {
+	Factory   kernel.BlockKernelFactory
+	Combiner  kernel.Combiner
+	Trainer   kernelmachine.Trainer
+	Folds     int
+	Seed      int64
+	Objective Objective
+}
+
+func (c Config) withDefaults() Config {
+	if c.Factory == nil {
+		c.Factory = kernel.RBFFactory(1.0)
+	}
+	if c.Trainer == nil {
+		c.Trainer = kernelmachine.Ridge{Lambda: 1e-2}
+	}
+	if c.Folds < 2 {
+		c.Folds = 4
+	}
+	return c
+}
+
+// Evaluator scores partitions of the feature set on a fixed training set,
+// counting kernel-configuration evaluations (the cost unit of the paper's
+// complexity discussion). Scores are cached by partition, and cache hits do
+// not count as evaluations.
+type Evaluator struct {
+	cfg   Config
+	data  *dataset.Dataset
+	evals int // cache misses: configurations actually computed
+	calls int // every Score call, cache hits included
+	cache map[string]float64
+}
+
+// NewEvaluator validates the dataset and returns an Evaluator.
+func NewEvaluator(d *dataset.Dataset, cfg Config) (*Evaluator, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("mkl: empty dataset")
+	}
+	return &Evaluator{cfg: cfg.withDefaults(), data: d, cache: map[string]float64{}}, nil
+}
+
+// Evaluations returns the number of kernel configurations actually
+// computed (cache hits excluded) — the true computational cost.
+func (e *Evaluator) Evaluations() int { return e.evals }
+
+// Calls returns the number of Score invocations including cache hits —
+// the number of lattice points a search visited.
+func (e *Evaluator) Calls() int { return e.calls }
+
+// ResetCount zeroes both counters (the cache persists).
+func (e *Evaluator) ResetCount() { e.evals, e.calls = 0, 0 }
+
+// Score evaluates the kernel configuration induced by p.
+func (e *Evaluator) Score(p partition.Partition) (float64, error) {
+	if p.N() != e.data.D() {
+		return 0, fmt.Errorf("mkl: partition over %d features, dataset has %d", p.N(), e.data.D())
+	}
+	e.calls++
+	key := p.Key()
+	if s, ok := e.cache[key]; ok {
+		return s, nil
+	}
+	k := kernel.FromPartition(p, e.cfg.Factory, e.cfg.Combiner)
+	gram := kernel.Gram(k, e.data.X)
+	var score float64
+	switch e.cfg.Objective {
+	case KernelAlignment:
+		g := gram.Clone()
+		kernel.Center(g)
+		score = kernel.Alignment(g, e.data.Y)
+	default:
+		s, err := e.cvAccuracy(gram)
+		if err != nil {
+			return 0, err
+		}
+		score = s
+	}
+	e.evals++
+	e.cache[key] = score
+	return score, nil
+}
+
+// cvAccuracy runs k-fold CV re-using one precomputed full Gram matrix.
+func (e *Evaluator) cvAccuracy(gram *linalg.Matrix) (float64, error) {
+	n := e.data.N()
+	rng := stats.NewRNG(e.cfg.Seed + 17)
+	trains, tests := stats.KFold(n, e.cfg.Folds, rng)
+	total := 0.0
+	for f := range trains {
+		tr, te := trains[f], tests[f]
+		sub := linalg.NewMatrix(len(tr), len(tr))
+		for i, a := range tr {
+			for j, b := range tr {
+				sub.Set(i, j, gram.At(a, b))
+			}
+		}
+		yTr := make([]int, len(tr))
+		for i, a := range tr {
+			yTr[i] = e.data.Y[a]
+		}
+		model, err := e.cfg.Trainer.Train(sub, yTr)
+		if err != nil {
+			return 0, fmt.Errorf("mkl: fold %d: %w", f, err)
+		}
+		cross := linalg.NewMatrix(len(te), len(tr))
+		for i, a := range te {
+			for j, b := range tr {
+				cross.Set(i, j, gram.At(a, b))
+			}
+		}
+		yTe := make([]int, len(te))
+		for i, a := range te {
+			yTe[i] = e.data.Y[a]
+		}
+		pred := kernelmachine.Classify(model.Scores(cross))
+		total += stats.Accuracy(pred, yTe)
+	}
+	return total / float64(len(trains)), nil
+}
+
+// Step records one evaluated partition during a search.
+type Step struct {
+	Partition partition.Partition
+	Score     float64
+}
+
+// Result is the outcome of a lattice search.
+type Result struct {
+	Best        partition.Partition
+	Score       float64
+	Evaluations int // evaluations consumed by this search alone
+	Trace       []Step
+}
+
+// TwoBlockSeed builds the (K, S−K) seed partition from 1-based feature
+// indices K over d features. If K is empty or covers everything, the seed
+// degenerates to the coarsest partition.
+func TwoBlockSeed(d int, k []int) (partition.Partition, error) {
+	if d <= 0 {
+		return partition.Partition{}, fmt.Errorf("mkl: nonpositive dimension %d", d)
+	}
+	inK := make([]bool, d+1)
+	for _, f := range k {
+		if f < 1 || f > d {
+			return partition.Partition{}, fmt.Errorf("mkl: seed feature %d out of range [1,%d]", f, d)
+		}
+		inK[f] = true
+	}
+	assign := make([]int, d)
+	for i := 1; i <= d; i++ {
+		if inK[i] {
+			assign[i-1] = 0
+		} else {
+			assign[i-1] = 1
+		}
+	}
+	return partition.FromRGS(assign), nil
+}
+
+// SeedFromRoughSet selects K dynamically via rough-set approximation
+// accuracy of the benchmark concept "class = value" on the discretized
+// dataset (Section III), then returns the two-block seed (K, S−K) along
+// with the selected attribute names.
+func SeedFromRoughSet(d *dataset.Dataset, bins, maxK int, obj rough.SeedObjective) (partition.Partition, []string, error) {
+	tbl := d.Discretize(bins)
+	// Use the majority class value as the benchmark concept.
+	counts := map[string]int{}
+	for _, r := range tbl.Rows {
+		counts[r[len(r)-1]]++
+	}
+	bestVal, bestC := "", -1
+	for v, c := range counts {
+		if c > bestC || (c == bestC && v < bestVal) {
+			bestVal, bestC = v, c
+		}
+	}
+	res, err := tbl.SelectSeed("class", bestVal, maxK, obj)
+	if err != nil {
+		return partition.Partition{}, nil, err
+	}
+	nameToIdx := map[string]int{}
+	for j, name := range tbl.Attrs[:len(tbl.Attrs)-1] {
+		nameToIdx[name] = j + 1 // 1-based feature id
+	}
+	var k []int
+	for _, a := range res.Attrs {
+		k = append(k, nameToIdx[a])
+	}
+	sort.Ints(k)
+	seed, err := TwoBlockSeed(d.D(), k)
+	return seed, res.Attrs, err
+}
+
+// coneToFull maps a partition q of the free-block elements (1..m in the
+// order of freeElems) into a full partition of the feature set with the
+// seed's other blocks intact.
+func coneToFull(seed partition.Partition, freeBlock int, freeElems []int, q partition.Partition) partition.Partition {
+	d := seed.N()
+	assign := make([]int, d)
+	// Blocks of the seed other than freeBlock keep distinct labels.
+	for i := 1; i <= d; i++ {
+		b := seed.BlockOf(i)
+		if b == freeBlock {
+			assign[i-1] = -1
+		} else {
+			assign[i-1] = b
+		}
+	}
+	offset := seed.NumBlocks()
+	for pos, e := range freeElems {
+		assign[e-1] = offset + q.BlockOf(pos+1)
+	}
+	return partition.FromRGS(assign)
+}
+
+// freeBlockOf returns the index and elements of the block of the seed to
+// refine: the largest block (ties to the last, matching S−K in a
+// (K, S−K) seed where K is small).
+func freeBlockOf(seed partition.Partition) (int, []int) {
+	blocks := seed.Blocks()
+	best, bestLen := -1, -1
+	for i, b := range blocks {
+		if len(b) >= bestLen {
+			best, bestLen = i, len(b)
+		}
+	}
+	return best, blocks[best]
+}
+
+// ExhaustiveCone scores every partition in the lower cone of the seed
+// obtained by refining its largest block in all possible ways (Bell(m)
+// configurations for a free block of m features) and returns the best.
+func ExhaustiveCone(e *Evaluator, seed partition.Partition) (*Result, error) {
+	freeBlock, freeElems := freeBlockOf(seed)
+	m := len(freeElems)
+	start := e.Calls()
+	res := &Result{Score: -1}
+	var subs []partition.Partition
+	if m == 1 {
+		subs = []partition.Partition{partition.Finest(1)}
+	} else {
+		subs = partition.All(m)
+	}
+	for _, q := range subs {
+		full := coneToFull(seed, freeBlock, freeElems, q)
+		s, err := e.Score(full)
+		if err != nil {
+			return nil, err
+		}
+		res.Trace = append(res.Trace, Step{Partition: full, Score: s})
+		if s > res.Score {
+			res.Score = s
+			res.Best = full
+		}
+	}
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// AscentRule selects how ChainSearch consumes its chain.
+type AscentRule int
+
+const (
+	// BestOfChain evaluates every partition on the chain and returns the
+	// best (m evaluations).
+	BestOfChain AscentRule = iota
+	// FirstImprovement walks from fine to coarse and stops as soon as a
+	// step fails to improve — the paper's "adding an additional kernel will
+	// not improve the performance" stopping criterion read in the merge
+	// direction (≤ m evaluations).
+	FirstImprovement
+)
+
+// ChainSearch walks one saturated symmetric chain of the LDD decomposition
+// of the free block's partition lattice — the principal full-span chain,
+// which visits one partition per rank, from all-singletons to one block:
+// exactly m evaluations for a free block of m features.
+//
+// To make the canonical chain data-adaptive, the free features are first
+// ordered by decreasing single-feature kernel-target alignment; the chain
+// then merges the most informative features first.
+func ChainSearch(e *Evaluator, seed partition.Partition, rule AscentRule) (*Result, error) {
+	freeBlock, freeElems := freeBlockOf(seed)
+	m := len(freeElems)
+	start := e.Calls()
+
+	ordered := alignmentOrder(e, freeElems)
+
+	chain := principalChain(m)
+	res := &Result{Score: -1}
+	for i, q := range chain {
+		// Remap q's canonical elements through the alignment ordering.
+		full := coneToFull(seed, freeBlock, ordered, q)
+		s, err := e.Score(full)
+		if err != nil {
+			return nil, err
+		}
+		res.Trace = append(res.Trace, Step{Partition: full, Score: s})
+		if s > res.Score {
+			res.Score = s
+			res.Best = full
+		} else if rule == FirstImprovement && i > 0 {
+			break
+		}
+	}
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// principalChain returns the full-span symmetric chain of Π_m used by
+// ChainSearch: the chain lifted from the de Bruijn chain
+// (∅, {1}, {1,2}, ..., {1..m-1}), whose composition types are
+// (1,...,1,j+1) — at rank j the last j+1 elements form one block and the
+// rest stay singletons: 1/2/.../m, then 1/.../(m-2)/(m-1,m), ..., 12...m.
+// It is the first chain of the LDD decomposition's first group (verified
+// against chains.Decompose in tests), constructed directly so large m
+// stays cheap.
+//
+// Combined with ChainSearch's decreasing-alignment feature ordering, the
+// chain pools the least informative features first, keeping strong features
+// in their own kernels until late in the walk.
+func principalChain(m int) []partition.Partition {
+	if m == 1 {
+		return []partition.Partition{partition.Finest(1)}
+	}
+	out := make([]partition.Partition, 0, m)
+	for rank := 0; rank < m; rank++ {
+		assign := make([]int, m)
+		for i := 0; i < m; i++ {
+			if i >= m-1-rank {
+				assign[i] = m - 1 - rank // tail block
+			} else {
+				assign[i] = i
+			}
+		}
+		out = append(out, partition.FromRGS(assign))
+	}
+	return out
+}
+
+// PrincipalChainMatchesLDD reports whether the constructed principal chain
+// for m coincides with a full-span chain of chains.Decompose(m-1); exposed
+// for tests and the experiments harness.
+func PrincipalChainMatchesLDD(m int) bool {
+	if m < 2 {
+		return true
+	}
+	d := chains.Decompose(m - 1)
+	pc := principalChain(m)
+	for _, c := range d.SymmetricChains() {
+		if len(c) != len(pc) {
+			continue
+		}
+		all := true
+		for i := range c {
+			if !c[i].Equal(pc[i]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// GreedyRefine hill-climbs from the seed through lower covers (splitting
+// one block into two) until no split improves the score.
+func GreedyRefine(e *Evaluator, seed partition.Partition) (*Result, error) {
+	start := e.Calls()
+	cur := seed
+	curScore, err := e.Score(cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Best: cur, Score: curScore, Trace: []Step{{cur, curScore}}}
+	for {
+		improved := false
+		for _, cand := range cur.LowerCovers() {
+			s, err := e.Score(cand)
+			if err != nil {
+				return nil, err
+			}
+			res.Trace = append(res.Trace, Step{cand, s})
+			if s > curScore+1e-12 {
+				cur, curScore = cand, s
+				improved = true
+				break // first-improvement descent
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.Best = cur
+	res.Score = curScore
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// Baselines for the headline experiment.
+
+// SingleGlobalKernel scores the coarsest partition (one kernel on all
+// features).
+func SingleGlobalKernel(e *Evaluator) (*Result, error) {
+	p := partition.Coarsest(e.data.D())
+	s, err := e.Score(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Best: p, Score: s, Evaluations: 1, Trace: []Step{{p, s}}}, nil
+}
+
+// UniformPerFeature scores the finest partition (one kernel per feature,
+// uniform sum) — the "uniform MKL" baseline.
+func UniformPerFeature(e *Evaluator) (*Result, error) {
+	p := partition.Finest(e.data.D())
+	s, err := e.Score(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Best: p, Score: s, Evaluations: 1, Trace: []Step{{p, s}}}, nil
+}
+
+// ViewOracle scores the partition induced by the dataset's declared views —
+// the structural ground truth the search strategies try to rediscover.
+func ViewOracle(e *Evaluator) (*Result, error) {
+	p := e.data.ViewPartition()
+	s, err := e.Score(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Best: p, Score: s, Evaluations: 1, Trace: []Step{{p, s}}}, nil
+}
+
+// HoldoutAccuracy retrains the configuration p on all of train and reports
+// accuracy on test — the final deployment measurement.
+func HoldoutAccuracy(train, test *dataset.Dataset, p partition.Partition, cfg Config) (float64, error) {
+	cfg = cfg.withDefaults()
+	k := kernel.FromPartition(p, cfg.Factory, cfg.Combiner)
+	gram := kernel.Gram(k, train.X)
+	model, err := cfg.Trainer.Train(gram, train.Y)
+	if err != nil {
+		return 0, err
+	}
+	cross := kernel.CrossGram(k, test.X, train.X)
+	pred := kernelmachine.Classify(model.Scores(cross))
+	return stats.Accuracy(pred, test.Y), nil
+}

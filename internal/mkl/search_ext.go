@@ -1,0 +1,119 @@
+package mkl
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/kernel"
+	"repro/internal/partition"
+)
+
+// DendrogramSearch walks the data-adaptive chain produced by hierarchical
+// clustering of the features (correlation distance, ref [8]'s
+// lattice-based view of clustering: a dendrogram is a saturated chain in
+// Π_d). Like ChainSearch, it costs exactly d evaluations with the
+// BestOfChain rule.
+//
+// Where ChainSearch's chain is canonical (reordered by single-feature
+// alignment), the dendrogram chain merges features bottom-up by mutual
+// similarity — correlated facets coalesce into blocks before unrelated
+// features join, so the chain passes through partitions close to the true
+// facet structure.
+func DendrogramSearch(e *Evaluator, link cluster.Linkage, rule AscentRule) (*Result, error) {
+	den, err := cluster.FeatureDendrogram(e.data.X, link)
+	if err != nil {
+		return nil, fmt.Errorf("mkl: feature clustering: %w", err)
+	}
+	start := e.Calls()
+	res := &Result{Score: -1}
+	for i, p := range den.Chain {
+		s, err := e.Score(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Trace = append(res.Trace, Step{Partition: p, Score: s})
+		if s > res.Score {
+			res.Score = s
+			res.Best = p
+		} else if rule == FirstImprovement && i > 0 {
+			break
+		}
+	}
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// ChainBeamSearch walks `beam` distinct full-span chains through the cone
+// of the seed's largest block and returns the best configuration across
+// all of them — a budgeted middle ground between the single chain (beam=1,
+// the paper's linear strategy) and the exhaustive cone. Cost is at most
+// beam × m evaluations.
+//
+// The b-th chain uses a rotation of the alignment-ordered features, so the
+// beams traverse genuinely different merge schedules.
+func ChainBeamSearch(e *Evaluator, seed partition.Partition, beam int) (*Result, error) {
+	if beam < 1 {
+		beam = 1
+	}
+	freeBlock, freeElems := freeBlockOf(seed)
+	m := len(freeElems)
+	if beam > m {
+		beam = m
+	}
+	start := e.Calls()
+
+	ordered := alignmentOrder(e, freeElems)
+	chain := principalChain(m)
+	res := &Result{Score: -1}
+	for b := 0; b < beam; b++ {
+		// Rotate the ordering so each beam merges a different tail first.
+		rot := make([]int, m)
+		for i := range rot {
+			rot[i] = ordered[(i+b)%m]
+		}
+		for _, q := range chain {
+			full := coneToFull(seed, freeBlock, rot, q)
+			s, err := e.Score(full)
+			if err != nil {
+				return nil, err
+			}
+			res.Trace = append(res.Trace, Step{Partition: full, Score: s})
+			if s > res.Score {
+				res.Score = s
+				res.Best = full
+			}
+		}
+	}
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// alignmentOrder ranks the given 1-based features by decreasing centered
+// kernel-target alignment of their singleton kernels (stable).
+func alignmentOrder(e *Evaluator, feats []int) []int {
+	m := len(feats)
+	ordered := append([]int(nil), feats...)
+	if m <= 1 {
+		return ordered
+	}
+	aligns := make([]float64, m)
+	for i, f := range feats {
+		aligns[i] = singletonAlignment(e, f)
+	}
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && aligns[j] > aligns[j-1]; j-- {
+			aligns[j], aligns[j-1] = aligns[j-1], aligns[j]
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	return ordered
+}
+
+// singletonAlignment returns the centered kernel-target alignment of the
+// single-feature kernel for 1-based feature f.
+func singletonAlignment(e *Evaluator, f int) float64 {
+	k := kernel.Subspace{Base: e.cfg.Factory([]int{f - 1}), Features: []int{f - 1}}
+	g := kernel.Gram(k, e.data.X)
+	kernel.Center(g)
+	return kernel.Alignment(g, e.data.Y)
+}

@@ -1,0 +1,128 @@
+package mkl
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/partition"
+)
+
+func TestDendrogramSearchCostAndValidity(t *testing.T) {
+	d := smallFacetData(60, 21)
+	e := newEval(t, d, KernelAlignment)
+	res, err := DendrogramSearch(e, cluster.AverageLinkage, BestOfChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != d.D() {
+		t.Errorf("dendrogram search cost = %d, want %d (linear)", res.Evaluations, d.D())
+	}
+	if res.Best.N() != d.D() {
+		t.Errorf("partition over %d features", res.Best.N())
+	}
+	// The trace must be a saturated chain from finest to coarsest.
+	if !res.Trace[0].Partition.Equal(partition.Finest(d.D())) {
+		t.Error("dendrogram chain should start at the finest partition")
+	}
+	last := res.Trace[len(res.Trace)-1].Partition
+	if last.NumBlocks() != 1 {
+		t.Errorf("dendrogram chain should end at one block, got %d", last.NumBlocks())
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if !res.Trace[i-1].Partition.Covers(res.Trace[i].Partition) {
+			t.Fatalf("trace step %d is not a cover", i)
+		}
+	}
+}
+
+func TestDendrogramSearchFirstImprovement(t *testing.T) {
+	d := smallFacetData(60, 22)
+	eBest := newEval(t, d, KernelAlignment)
+	best, err := DendrogramSearch(eBest, cluster.AverageLinkage, BestOfChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eFirst := newEval(t, d, KernelAlignment)
+	first, err := DendrogramSearch(eFirst, cluster.AverageLinkage, FirstImprovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Evaluations > best.Evaluations {
+		t.Error("first-improvement should not cost more than best-of-chain")
+	}
+	if first.Score > best.Score+1e-12 {
+		t.Error("first-improvement cannot beat best-of-chain on the same chain")
+	}
+}
+
+func TestChainBeamSearchDominatesSingleChain(t *testing.T) {
+	d := smallFacetData(60, 23)
+	seed := partition.Coarsest(d.D())
+
+	eOne, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := ChainBeamSearch(eOne, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eThree, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := ChainBeamSearch(eThree, seed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Score < one.Score-1e-12 {
+		t.Errorf("beam 3 (%v) cannot be worse than beam 1 (%v)", three.Score, one.Score)
+	}
+	if one.Evaluations != d.D() {
+		t.Errorf("beam 1 cost = %d, want %d", one.Evaluations, d.D())
+	}
+	if three.Evaluations > 3*d.D() {
+		t.Errorf("beam 3 cost = %d, want <= %d", three.Evaluations, 3*d.D())
+	}
+}
+
+func TestChainBeamSearchMatchesChainSearchAtBeamOne(t *testing.T) {
+	d := smallFacetData(50, 24)
+	seed := partition.Coarsest(d.D())
+	eA, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ChainSearch(eA, seed, BestOfChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChainBeamSearch(eB, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score || !a.Best.Equal(b.Best) {
+		t.Errorf("beam 1 (%s %v) differs from chain search (%s %v)",
+			b.Best, b.Score, a.Best, a.Score)
+	}
+}
+
+func TestChainBeamSearchClampsBeam(t *testing.T) {
+	d := smallFacetData(40, 25)
+	seed := partition.Coarsest(d.D())
+	e := newEval(t, d, KernelAlignment)
+	res, err := ChainBeamSearch(e, seed, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > d.D()*d.D() {
+		t.Errorf("clamped beam cost = %d, want <= m²", res.Evaluations)
+	}
+	if _, err := ChainBeamSearch(e, seed, 0); err != nil {
+		t.Errorf("beam 0 should clamp to 1: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package multiview
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func facetData(n int, seed int64) *dataset.Dataset {
+	d := dataset.SyntheticBiometric(dataset.BiometricConfig{
+		N: n, FacePerDim: 2, Noise: 0.3, IrrelevantSD: 1.0,
+	}, stats.NewRNG(seed))
+	d.Standardize()
+	return d
+}
+
+func TestCoTrainingLearnsFromFewLabels(t *testing.T) {
+	train := facetData(120, 1)
+	test := facetData(80, 2)
+	labeled := make([]int, 30)
+	for i := range labeled {
+		labeled[i] = i
+	}
+	m, err := CoTraining{}.Fit(train, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(test)
+	acc := stats.Accuracy(pred, test.Y)
+	if acc < 0.7 {
+		t.Errorf("co-training accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestCoTrainingPromotesUnlabeled(t *testing.T) {
+	train := facetData(60, 3)
+	labeled := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	m, err := CoTraining{Rounds: 3, PerRound: 2}.Fit(train, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After promotion the per-view pools should exceed the labeled seed.
+	grew := false
+	for v := range m.trainLab {
+		if len(m.trainLab[v]) > len(labeled) {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Error("no view pool grew during co-training")
+	}
+}
+
+func TestCoTrainingValidation(t *testing.T) {
+	oneView := &dataset.Dataset{
+		X: [][]float64{{1}}, Y: []int{1},
+		Views: []dataset.View{{Name: "v", Features: []int{0}}},
+	}
+	if _, err := (CoTraining{}).Fit(oneView, []int{0}); err == nil {
+		t.Error("single view accepted")
+	}
+	d := facetData(20, 4)
+	if _, err := (CoTraining{}).Fit(d, nil); err == nil {
+		t.Error("empty labeled set accepted")
+	}
+	if _, err := (CoTraining{}).Fit(d, []int{999}); err == nil {
+		t.Error("out-of-range labeled index accepted")
+	}
+}
+
+func TestSubspaceLearnsSharedStructure(t *testing.T) {
+	// Build a dataset where the first two views share a latent class
+	// signal: both views carry y in their first coordinate.
+	rng := stats.NewRNG(5)
+	n := 150
+	d := &dataset.Dataset{
+		Views: []dataset.View{
+			{Name: "a", Features: []int{0, 1}},
+			{Name: "b", Features: []int{2, 3}},
+		},
+		FeatureNames: []string{"a0", "a1", "b0", "b1"},
+	}
+	for i := 0; i < n; i++ {
+		y := 1
+		if rng.Float64() < 0.5 {
+			y = -1
+		}
+		latent := float64(y) + rng.NormFloat64()*0.3
+		d.X = append(d.X, []float64{
+			latent + rng.NormFloat64()*0.2,
+			rng.NormFloat64(),
+			-latent + rng.NormFloat64()*0.2, // anti-correlated projection
+			rng.NormFloat64(),
+		})
+		d.Y = append(d.Y, y)
+	}
+	d.Standardize()
+	train := d.Subset(seqInts(0, 100))
+	test := d.Subset(seqInts(100, n))
+	m, err := Subspace{Dim: 1}.Fit(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := stats.Accuracy(m.Predict(test), test.Y)
+	if acc < 0.85 {
+		t.Errorf("subspace accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestSubspaceOnFacetData(t *testing.T) {
+	train := facetData(120, 6)
+	test := facetData(80, 7)
+	m, err := Subspace{Dim: 2}.Fit(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := stats.Accuracy(m.Predict(test), test.Y)
+	// Views 1–2 are face (linear) and fingerprint (radial): the shared
+	// subspace captures the linear part at least.
+	if acc < 0.6 {
+		t.Errorf("subspace accuracy = %v, want >= 0.6", acc)
+	}
+}
+
+func TestSubspaceValidation(t *testing.T) {
+	oneView := &dataset.Dataset{
+		X: [][]float64{{1}, {2}}, Y: []int{1, -1},
+		Views: []dataset.View{{Name: "v", Features: []int{0}}},
+	}
+	if _, err := (Subspace{}).Fit(oneView); err == nil {
+		t.Error("single view accepted")
+	}
+	tiny := &dataset.Dataset{
+		X: [][]float64{{1, 2}}, Y: []int{1},
+		Views: []dataset.View{{Name: "a", Features: []int{0}}, {Name: "b", Features: []int{1}}},
+	}
+	if _, err := (Subspace{}).Fit(tiny); err == nil {
+		t.Error("single-row dataset accepted")
+	}
+}
+
+func seqInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

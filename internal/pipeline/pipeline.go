@@ -1,0 +1,440 @@
+// Package pipeline composes the IoT data path of Figure 1 — acquisition,
+// preparation, reduction, analytics — as a chain of services (ref [1] of
+// the paper), each stage reporting into an uncertainty ledger so the human
+// decision-maker can see exactly where the chain of trust holds or breaks
+// (Section I-B: "full visibility and control over distributed preparation
+// of input data").
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/impute"
+	"repro/internal/preprocess"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+	"repro/internal/uncertainty"
+)
+
+// Data is the record batch flowing between stages.
+type Data struct {
+	Times      []float64
+	Quantities []string
+	X          [][]float64
+	Mask       [][]bool
+}
+
+// Clone deep-copies the batch.
+func (d *Data) Clone() *Data {
+	out := &Data{
+		Times:      append([]float64(nil), d.Times...),
+		Quantities: append([]string(nil), d.Quantities...),
+	}
+	for _, r := range d.X {
+		out.X = append(out.X, append([]float64(nil), r...))
+	}
+	for _, r := range d.Mask {
+		out.Mask = append(out.Mask, append([]bool(nil), r...))
+	}
+	return out
+}
+
+// MissingFraction returns the fraction of missing cells.
+func (d *Data) MissingFraction() float64 {
+	if len(d.Mask) == 0 {
+		return 0
+	}
+	miss, tot := 0, 0
+	for i := range d.Mask {
+		for j := range d.Mask[i] {
+			tot++
+			if d.Mask[i][j] {
+				miss++
+			}
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(miss) / float64(tot)
+}
+
+// Stage transforms a batch and reports its uncertainty entry.
+type Stage interface {
+	Name() string
+	Apply(d *Data) (*Data, uncertainty.Entry, error)
+}
+
+// Pipeline is an ordered stage composition.
+type Pipeline struct {
+	Stages []Stage
+}
+
+// Result carries the final batch and the accumulated ledger.
+type Result struct {
+	Data   *Data
+	Ledger *uncertainty.Ledger
+}
+
+// Run executes the stages in order; it stops at the first stage error.
+func (p *Pipeline) Run(d *Data) (*Result, error) {
+	ledger := &uncertainty.Ledger{}
+	cur := d
+	for i, s := range p.Stages {
+		next, entry, err := s.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stage %d (%s): %w", i, s.Name(), err)
+		}
+		ledger.Record(entry)
+		cur = next
+	}
+	return &Result{Data: cur, Ledger: ledger}, nil
+}
+
+// MergeStage integrates raw sensor streams into records (the acquisition →
+// integration boundary). Its input Data is ignored; streams come from the
+// stage itself, so a pipeline can start from raw streams.
+type MergeStage struct {
+	Streams   []sensors.Stream
+	Tolerance float64
+}
+
+// Name implements Stage.
+func (m MergeStage) Name() string { return "merge" }
+
+// Apply implements Stage.
+func (m MergeStage) Apply(*Data) (*Data, uncertainty.Entry, error) {
+	rec, err := preprocess.MergeStreams(m.Streams, m.Tolerance)
+	if err != nil {
+		return nil, uncertainty.Entry{}, err
+	}
+	d := &Data{Times: rec.Times, Quantities: rec.Quantity, X: rec.X, Mask: rec.Mask}
+	return d, uncertainty.Entry{
+		Stage:       m.Name(),
+		Description: fmt.Sprintf("merged %d streams at tol %g: %d records, %.1f%% missing", len(m.Streams), m.Tolerance, len(rec.Times), 100*d.MissingFraction()),
+		InfoLost:    0,
+		Tracked:     true,
+	}, nil
+}
+
+// CleanStage flags and blanks outlier cells.
+type CleanStage struct {
+	ZThreshold float64 // default 4
+}
+
+// Name implements Stage.
+func (c CleanStage) Name() string { return "clean" }
+
+// Apply implements Stage.
+func (c CleanStage) Apply(d *Data) (*Data, uncertainty.Entry, error) {
+	z := c.ZThreshold
+	if z <= 0 {
+		z = 4
+	}
+	out := d.Clone()
+	flagged := preprocess.IdentifyNoise(out.X, out.Mask, z)
+	preprocess.CleanNoise(out.X, out.Mask, flagged)
+	lost := 0.0
+	if len(d.X) > 0 && len(d.X[0]) > 0 {
+		lost = float64(len(flagged)) / float64(len(d.X)*len(d.X[0]))
+	}
+	return out, uncertainty.Entry{
+		Stage:       c.Name(),
+		Description: fmt.Sprintf("flagged %d outlier cells at z=%g", len(flagged), z),
+		InfoLost:    lost,
+		Tracked:     true,
+	}, nil
+}
+
+// ImputeStage fills missing cells with the configured imputer. TrackBias
+// controls whether the stage estimates and reports the distortion it
+// introduces (the costly bookkeeping of Section IV); with TrackBias false
+// the entry is marked untracked, breaking the chain of trust.
+type ImputeStage struct {
+	Imputer   impute.Imputer
+	TrackBias bool
+}
+
+// Name implements Stage.
+func (s ImputeStage) Name() string {
+	if s.Imputer == nil {
+		return "impute/<nil>"
+	}
+	return "impute/" + s.Imputer.String()
+}
+
+// Apply implements Stage.
+func (s ImputeStage) Apply(d *Data) (*Data, uncertainty.Entry, error) {
+	if s.Imputer == nil {
+		return nil, uncertainty.Entry{}, fmt.Errorf("pipeline: nil imputer")
+	}
+	out := d.Clone()
+	missBefore := d.MissingFraction()
+	filled, err := s.Imputer.Impute(out.X, out.Mask)
+	if err != nil {
+		return nil, uncertainty.Entry{}, err
+	}
+	var bias, variance float64
+	if s.TrackBias && filled > 0 {
+		// Estimate distortion by leave-one-out probing: blank a sample of
+		// observed cells, re-impute, compare.
+		bias, variance = probeImputerDistortion(d, s.Imputer)
+	}
+	// Imputed cells are now "observed" for downstream stages.
+	for i := range out.Mask {
+		for j := range out.Mask[i] {
+			out.Mask[i][j] = false
+		}
+	}
+	return out, uncertainty.Entry{
+		Stage:              s.Name(),
+		Description:        fmt.Sprintf("filled %d cells (%.1f%% were missing)", filled, 100*missBefore),
+		BiasIntroduced:     bias,
+		VarianceIntroduced: variance,
+		InfoLost:           0,
+		Tracked:            s.TrackBias,
+	}, nil
+}
+
+// probeImputerDistortion blanks up to 40 observed cells, re-imputes, and
+// returns (mean error, error variance) of the reconstruction.
+func probeImputerDistortion(d *Data, im impute.Imputer) (bias, variance float64) {
+	rng := stats.NewRNG(99)
+	type cell struct{ i, j int }
+	var obs []cell
+	for i := range d.X {
+		for j := range d.X[i] {
+			if !d.Mask[i][j] {
+				obs = append(obs, cell{i, j})
+			}
+		}
+	}
+	if len(obs) == 0 {
+		return 0, 0
+	}
+	rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
+	if len(obs) > 40 {
+		obs = obs[:40]
+	}
+	probe := d.Clone()
+	truth := make([]float64, len(obs))
+	for t, c := range obs {
+		truth[t] = probe.X[c.i][c.j]
+		probe.Mask[c.i][c.j] = true
+		probe.X[c.i][c.j] = 0
+	}
+	if _, err := im.Impute(probe.X, probe.Mask); err != nil {
+		return 0, 0
+	}
+	errs := make([]float64, len(obs))
+	for t, c := range obs {
+		errs[t] = probe.X[c.i][c.j] - truth[t]
+	}
+	return stats.Mean(errs), stats.Variance(errs)
+}
+
+// DropIncompleteStage is the alternative to imputation: keep only complete
+// records. The information loss is the dropped-row fraction.
+type DropIncompleteStage struct{}
+
+// Name implements Stage.
+func (DropIncompleteStage) Name() string { return "drop-incomplete" }
+
+// Apply implements Stage.
+func (DropIncompleteStage) Apply(d *Data) (*Data, uncertainty.Entry, error) {
+	out := &Data{Quantities: d.Quantities}
+	kept := 0
+	for i := range d.X {
+		complete := true
+		for _, m := range d.Mask[i] {
+			if m {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		kept++
+		if len(d.Times) > 0 {
+			out.Times = append(out.Times, d.Times[i])
+		}
+		out.X = append(out.X, append([]float64(nil), d.X[i]...))
+		out.Mask = append(out.Mask, make([]bool, len(d.Mask[i])))
+	}
+	lost := 0.0
+	if len(d.X) > 0 {
+		lost = 1 - float64(kept)/float64(len(d.X))
+	}
+	return out, uncertainty.Entry{
+		Stage:       "drop-incomplete",
+		Description: fmt.Sprintf("kept %d of %d records", kept, len(d.X)),
+		InfoLost:    lost,
+		Tracked:     true,
+	}, nil
+}
+
+// NormalizeStage rescales features to [0, 1].
+type NormalizeStage struct{}
+
+// Name implements Stage.
+func (NormalizeStage) Name() string { return "normalize" }
+
+// Apply implements Stage.
+func (NormalizeStage) Apply(d *Data) (*Data, uncertainty.Entry, error) {
+	out := d.Clone()
+	preprocess.Normalize(out.X, out.Mask)
+	return out, uncertainty.Entry{
+		Stage:       "normalize",
+		Description: "min-max scaled each quantity to [0,1]",
+		Tracked:     true,
+	}, nil
+}
+
+// ReduceStage applies instance selection (systematic sampling).
+type ReduceStage struct {
+	Stride int
+}
+
+// Name implements Stage.
+func (ReduceStage) Name() string { return "reduce" }
+
+// Apply implements Stage.
+func (r ReduceStage) Apply(d *Data) (*Data, uncertainty.Entry, error) {
+	stride := r.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	keep := preprocess.SelectInstances(len(d.X), stride)
+	out := &Data{Quantities: d.Quantities}
+	for _, i := range keep {
+		if len(d.Times) > 0 {
+			out.Times = append(out.Times, d.Times[i])
+		}
+		out.X = append(out.X, append([]float64(nil), d.X[i]...))
+		out.Mask = append(out.Mask, append([]bool(nil), d.Mask[i]...))
+	}
+	lost := 0.0
+	if len(d.X) > 0 {
+		lost = 1 - float64(len(keep))/float64(len(d.X))
+	}
+	return out, uncertainty.Entry{
+		Stage:       "reduce",
+		Description: fmt.Sprintf("systematic sample stride %d: %d -> %d records", stride, len(d.X), len(out.X)),
+		InfoLost:    lost,
+		Tracked:     true,
+	}, nil
+}
+
+// ReconstructionRMSE compares pipeline output values against the fleet's
+// ground-truth fields at the record time-stamps — the E12 quality metric.
+// Only cells marked observed contribute... all cells contribute when the
+// mask is cleared by imputation.
+func ReconstructionRMSE(d *Data, devs []sensors.Device) float64 {
+	if len(d.X) == 0 || len(devs) == 0 {
+		return 0
+	}
+	truth := sensors.GroundTruth(devs, d.Times)
+	var pred, want []float64
+	for i := range d.X {
+		for j := range d.X[i] {
+			if j >= len(devs) || d.Mask[i][j] {
+				continue
+			}
+			pred = append(pred, d.X[i][j])
+			want = append(want, truth[i][j])
+		}
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	return stats.RMSE(pred, want)
+}
+
+var (
+	_ Stage = MergeStage{}
+	_ Stage = CleanStage{}
+	_ Stage = ImputeStage{}
+	_ Stage = DropIncompleteStage{}
+	_ Stage = NormalizeStage{}
+	_ Stage = ReduceStage{}
+)
+
+// InterpolateStage fills missing cells by linear interpolation over the
+// record time-stamps — the preparation move Section I-B calls "alignment of
+// data from different dimensions, interpolation/extrapolation", and the
+// natural companion of MergeStage. Like ImputeStage, TrackBias selects
+// whether the stage pays the bookkeeping cost that keeps the chain of
+// trust intact.
+type InterpolateStage struct {
+	TrackBias bool
+}
+
+// Name implements Stage.
+func (InterpolateStage) Name() string { return "interpolate" }
+
+// Apply implements Stage.
+func (s InterpolateStage) Apply(d *Data) (*Data, uncertainty.Entry, error) {
+	out := d.Clone()
+	missBefore := d.MissingFraction()
+	filled, err := impute.InterpolateColumns(out.Times, out.X, out.Mask)
+	if err != nil {
+		return nil, uncertainty.Entry{}, err
+	}
+	var bias, variance float64
+	if s.TrackBias && filled > 0 {
+		bias, variance = probeInterpolationDistortion(d)
+	}
+	for i := range out.Mask {
+		for j := range out.Mask[i] {
+			out.Mask[i][j] = false
+		}
+	}
+	return out, uncertainty.Entry{
+		Stage:              s.Name(),
+		Description:        fmt.Sprintf("interpolated %d cells (%.1f%% were missing)", filled, 100*missBefore),
+		BiasIntroduced:     bias,
+		VarianceIntroduced: variance,
+		Tracked:            s.TrackBias,
+	}, nil
+}
+
+// probeInterpolationDistortion blanks a sample of observed cells,
+// re-interpolates, and returns (mean error, error variance).
+func probeInterpolationDistortion(d *Data) (bias, variance float64) {
+	rng := stats.NewRNG(101)
+	type cell struct{ i, j int }
+	var obs []cell
+	for i := range d.X {
+		for j := range d.X[i] {
+			if !d.Mask[i][j] {
+				obs = append(obs, cell{i, j})
+			}
+		}
+	}
+	if len(obs) == 0 {
+		return 0, 0
+	}
+	rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
+	if len(obs) > 40 {
+		obs = obs[:40]
+	}
+	probe := d.Clone()
+	truth := make([]float64, len(obs))
+	for t, c := range obs {
+		truth[t] = probe.X[c.i][c.j]
+		probe.Mask[c.i][c.j] = true
+		probe.X[c.i][c.j] = 0
+	}
+	if _, err := impute.InterpolateColumns(probe.Times, probe.X, probe.Mask); err != nil {
+		return 0, 0
+	}
+	errs := make([]float64, len(obs))
+	for t, c := range obs {
+		errs[t] = probe.X[c.i][c.j] - truth[t]
+	}
+	return stats.Mean(errs), stats.Variance(errs)
+}
+
+var _ Stage = InterpolateStage{}

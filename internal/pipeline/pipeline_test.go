@@ -1,0 +1,271 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/impute"
+	"repro/internal/sensors"
+	"repro/internal/stats"
+)
+
+func sampleStreams(t *testing.T, desync float64, horizon float64, seed int64) ([]sensors.Stream, []sensors.Device) {
+	t.Helper()
+	fleet := sensors.EnvironmentalFleet(desync)
+	streams, err := sensors.SampleFleet(fleet, horizon, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return streams, fleet
+}
+
+func TestFullPipelineRun(t *testing.T) {
+	streams, _ := sampleStreams(t, 0.8, 100, 1)
+	p := &Pipeline{Stages: []Stage{
+		MergeStage{Streams: streams, Tolerance: 0.05},
+		CleanStage{ZThreshold: 4},
+		ImputeStage{Imputer: impute.KNN{K: 3}, TrackBias: true},
+		ReduceStage{Stride: 2},
+	}}
+	res, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data.MissingFraction() != 0 {
+		t.Errorf("missing after imputation = %v, want 0", res.Data.MissingFraction())
+	}
+	if len(res.Ledger.Entries()) != 4 {
+		t.Errorf("ledger entries = %d, want 4", len(res.Ledger.Entries()))
+	}
+	if !res.Ledger.Veracious() {
+		t.Error("fully tracked pipeline should keep the chain of trust")
+	}
+	if res.Ledger.InfoRetained() >= 1 {
+		t.Error("reduce stage should report information loss")
+	}
+}
+
+func TestUntrackedImputationBreaksTrustChain(t *testing.T) {
+	streams, _ := sampleStreams(t, 0.8, 60, 2)
+	p := &Pipeline{Stages: []Stage{
+		MergeStage{Streams: streams, Tolerance: 0.05},
+		ImputeStage{Imputer: impute.Mean{}, TrackBias: false},
+	}}
+	res, err := p.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.Veracious() {
+		t.Error("untracked imputation should break the chain")
+	}
+	if got := res.Ledger.FirstUntracked(); got != "impute/mean" {
+		t.Errorf("FirstUntracked = %q", got)
+	}
+}
+
+func TestDropIncompleteAlternative(t *testing.T) {
+	streams, _ := sampleStreams(t, 1.0, 100, 3)
+	pImpute := &Pipeline{Stages: []Stage{
+		MergeStage{Streams: streams, Tolerance: 0.05},
+		ImputeStage{Imputer: impute.Mean{}, TrackBias: true},
+	}}
+	pDrop := &Pipeline{Stages: []Stage{
+		MergeStage{Streams: streams, Tolerance: 0.05},
+		DropIncompleteStage{},
+	}}
+	ri, err := pImpute.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := pDrop.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Imputation keeps every record; dropping loses most under heavy desync.
+	if len(rd.Data.X) >= len(ri.Data.X) {
+		t.Errorf("drop kept %d records, impute kept %d", len(rd.Data.X), len(ri.Data.X))
+	}
+	if rd.Ledger.InfoRetained() >= ri.Ledger.InfoRetained() {
+		t.Error("dropping should retain less information than imputing")
+	}
+}
+
+func TestPipelineStageError(t *testing.T) {
+	p := &Pipeline{Stages: []Stage{ImputeStage{Imputer: nil}}}
+	if _, err := p.Run(&Data{}); err == nil {
+		t.Error("nil imputer should fail the run")
+	}
+	bad := &Pipeline{Stages: []Stage{MergeStage{Streams: nil, Tolerance: 0.1}}}
+	if _, err := bad.Run(nil); err == nil {
+		t.Error("empty merge should fail the run")
+	}
+}
+
+func TestReconstructionRMSEImprovesWithInterpolation(t *testing.T) {
+	// E12 shape: time-aware interpolation reconstructs the field better
+	// than column-mean imputation under desynchronization.
+	streams, fleet := sampleStreams(t, 1.0, 300, 4)
+	run := func(stage Stage) float64 {
+		p := &Pipeline{Stages: []Stage{
+			MergeStage{Streams: streams, Tolerance: 0.05},
+			stage,
+		}}
+		res, err := p.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ReconstructionRMSE(res.Data, fleet)
+	}
+	meanErr := run(ImputeStage{Imputer: impute.Mean{}, TrackBias: false})
+	interpErr := run(InterpolateStage{TrackBias: false})
+	if math.IsNaN(meanErr) || math.IsNaN(interpErr) {
+		t.Fatal("RMSE returned NaN")
+	}
+	if interpErr >= meanErr {
+		t.Errorf("interpolation RMSE %v should beat mean %v", interpErr, meanErr)
+	}
+}
+
+func TestInterpolateStageFillsAndTracks(t *testing.T) {
+	d := &Data{
+		Times: []float64{0, 1, 2},
+		X:     [][]float64{{0, 5}, {0, 0}, {2, 7}},
+		Mask:  [][]bool{{true, false}, {true, true}, {false, false}},
+	}
+	out, entry, err := InterpolateStage{TrackBias: true}.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MissingFraction() != 0 {
+		t.Error("interpolation should clear all missing cells")
+	}
+	if out.X[1][1] != 6 { // midpoint of 5 and 7
+		t.Errorf("interpolated = %v, want 6", out.X[1][1])
+	}
+	if out.X[0][0] != 2 || out.X[1][0] != 2 { // back-fill from only observation
+		t.Errorf("edge fill = %v %v, want 2 2", out.X[0][0], out.X[1][0])
+	}
+	if !entry.Tracked {
+		t.Error("TrackBias stage should be tracked")
+	}
+	if d.MissingFraction() == 0 {
+		t.Error("stage mutated its input")
+	}
+}
+
+func TestCleanStageFlagsInjectedOutlier(t *testing.T) {
+	d := &Data{
+		X:    [][]float64{{1}, {1.2}, {0.8}, {1.1}, {0.9}, {100}},
+		Mask: [][]bool{{false}, {false}, {false}, {false}, {false}, {false}},
+	}
+	out, entry, err := CleanStage{ZThreshold: 2}.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Mask[5][0] {
+		t.Error("outlier not flagged")
+	}
+	if entry.InfoLost <= 0 {
+		t.Error("cleaning should report information loss")
+	}
+	// Original untouched.
+	if d.Mask[5][0] {
+		t.Error("stage mutated its input")
+	}
+}
+
+func TestNormalizeStage(t *testing.T) {
+	d := &Data{
+		X:    [][]float64{{0, 10}, {10, 20}},
+		Mask: [][]bool{{false, false}, {false, false}},
+	}
+	out, entry, err := NormalizeStage{}.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.X[1][0] != 1 || out.X[0][1] != 0 {
+		t.Errorf("normalized = %v", out.X)
+	}
+	if !entry.Tracked {
+		t.Error("normalize should be tracked")
+	}
+}
+
+func TestReduceStage(t *testing.T) {
+	d := &Data{
+		Times: []float64{0, 1, 2, 3},
+		X:     [][]float64{{1}, {2}, {3}, {4}},
+		Mask:  [][]bool{{false}, {false}, {false}, {false}},
+	}
+	out, entry, err := ReduceStage{Stride: 2}.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.X) != 2 || out.X[1][0] != 3 {
+		t.Errorf("reduced = %v", out.X)
+	}
+	if entry.InfoLost != 0.5 {
+		t.Errorf("InfoLost = %v, want 0.5", entry.InfoLost)
+	}
+}
+
+func TestDataCloneIndependence(t *testing.T) {
+	d := &Data{X: [][]float64{{1}}, Mask: [][]bool{{false}}, Times: []float64{0}}
+	c := d.Clone()
+	c.X[0][0] = 99
+	c.Mask[0][0] = true
+	if d.X[0][0] != 1 || d.Mask[0][0] {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestMissingFractionEmpty(t *testing.T) {
+	if (&Data{}).MissingFraction() != 0 {
+		t.Error("empty data should report 0 missing")
+	}
+}
+
+func TestInterpolationIntroducesArtificialAutocorrelation(t *testing.T) {
+	// Section I-B: preparation can introduce "artificial autocorrelation in
+	// time series". A white-noise sensor stream has ≈ 0 lag-1
+	// autocorrelation; after heavy thinning and linear interpolation, the
+	// reconstructed series is strongly autocorrelated — the tracked ledger
+	// is how downstream consumers learn such distortions happened.
+	rng := stats.NewRNG(11)
+	n := 2000
+	d := &Data{
+		Times: make([]float64, n),
+		X:     make([][]float64, n),
+		Mask:  make([][]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		d.Times[i] = float64(i)
+		d.X[i] = []float64{rng.NormFloat64()}
+		d.Mask[i] = []bool{i%5 != 0} // keep every 5th sample, blank the rest
+		if d.Mask[i][0] {
+			d.X[i][0] = 0
+		}
+	}
+	var raw []float64
+	for i := 0; i < n; i++ {
+		if !d.Mask[i][0] {
+			raw = append(raw, d.X[i][0])
+		}
+	}
+	out, _, err := InterpolateStage{}.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := make([]float64, n)
+	for i := range out.X {
+		recon[i] = out.X[i][0]
+	}
+	acRaw := stats.Autocorrelation(raw, 1)
+	acRecon := stats.Autocorrelation(recon, 1)
+	if math.Abs(acRaw) > 0.1 {
+		t.Fatalf("raw samples lag-1 = %v, want ≈ 0", acRaw)
+	}
+	if acRecon < 0.5 {
+		t.Errorf("interpolated lag-1 = %v, want strongly positive (artificial autocorrelation)", acRecon)
+	}
+}

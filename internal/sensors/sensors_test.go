@@ -1,0 +1,176 @@
+package sensors
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSinusField(t *testing.T) {
+	f := SinusField(10, 2, 24, 0)
+	if got := f(0); got != 10 {
+		t.Errorf("f(0) = %v, want 10", got)
+	}
+	if got := f(6); math.Abs(got-12) > 1e-9 { // quarter period: sin = 1
+		t.Errorf("f(6) = %v, want 12", got)
+	}
+}
+
+func TestDeviceSampleCleanClock(t *testing.T) {
+	d := Device{
+		Name: "t", Quantity: "temp",
+		Field: SinusField(20, 5, 24, 0), Period: 1.0,
+	}
+	s, err := d.Sample(10, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Readings) != 10 {
+		t.Fatalf("got %d readings, want 10", len(s.Readings))
+	}
+	for i, r := range s.Readings {
+		if math.Abs(r.Time-float64(i)) > 1e-9 {
+			t.Errorf("reading %d at t=%v, want %d", i, r.Time, i)
+		}
+		if math.Abs(r.Value-d.Field(r.Time)) > 1e-9 {
+			t.Errorf("noiseless reading differs from field at %v", r.Time)
+		}
+	}
+}
+
+func TestDeviceSampleDropout(t *testing.T) {
+	d := Device{
+		Name: "t", Quantity: "q",
+		Field: SinusField(0, 1, 10, 0), Period: 0.1, Dropout: 0.5,
+	}
+	s, err := d.Sample(100, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1000 scheduled samples, ~50% dropped.
+	if len(s.Readings) < 400 || len(s.Readings) > 600 {
+		t.Errorf("got %d readings, want ≈ 500", len(s.Readings))
+	}
+}
+
+func TestDeviceSampleTimestampsSorted(t *testing.T) {
+	d := Device{
+		Name: "j", Quantity: "q",
+		Field: SinusField(0, 1, 10, 0), Period: 0.5, Jitter: 0.4,
+	}
+	s, err := d.Sample(50, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(s.Readings, func(i, j int) bool {
+		return s.Readings[i].Time < s.Readings[j].Time
+	}) {
+		t.Error("jittered readings not sorted by time")
+	}
+	for _, r := range s.Readings {
+		if r.Time < 0 {
+			t.Error("negative timestamp after jitter clamp")
+		}
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	bad := []Device{
+		{Name: "p", Period: 0, Field: SinusField(0, 1, 1, 0)},
+		{Name: "d", Period: 1, Dropout: 1.0, Field: SinusField(0, 1, 1, 0)},
+		{Name: "f", Period: 1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("device %q should fail validation", d.Name)
+		}
+		if _, err := d.Sample(1, stats.NewRNG(1)); err == nil {
+			t.Errorf("Sample on invalid device %q should fail", d.Name)
+		}
+	}
+}
+
+func TestEnvironmentalFleet(t *testing.T) {
+	fleet := EnvironmentalFleet(0.5)
+	if len(fleet) != 3 {
+		t.Fatalf("fleet size = %d, want 3", len(fleet))
+	}
+	quantities := map[string]bool{}
+	for _, d := range fleet {
+		if err := d.Validate(); err != nil {
+			t.Errorf("fleet device %q invalid: %v", d.Name, err)
+		}
+		quantities[d.Quantity] = true
+	}
+	for _, q := range []string{"temperature", "humidity", "wind"} {
+		if !quantities[q] {
+			t.Errorf("missing quantity %q", q)
+		}
+	}
+	// Desync clamping.
+	if EnvironmentalFleet(-1)[1].Offset != 0 {
+		t.Error("desync < 0 should clamp to aligned clocks")
+	}
+	if EnvironmentalFleet(2)[1].Offset != EnvironmentalFleet(1)[1].Offset {
+		t.Error("desync > 1 should clamp to 1")
+	}
+}
+
+func TestFleetDesynchronizationGrowsOffsets(t *testing.T) {
+	aligned := EnvironmentalFleet(0)
+	skewed := EnvironmentalFleet(1)
+	if aligned[1].Period != aligned[0].Period {
+		t.Error("desync=0 should align periods")
+	}
+	if skewed[1].Period == skewed[0].Period {
+		t.Error("desync=1 should skew periods")
+	}
+}
+
+func TestSampleFleetAndGroundTruth(t *testing.T) {
+	fleet := EnvironmentalFleet(0.3)
+	streams, err := SampleFleet(fleet, 48, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 3 {
+		t.Fatalf("streams = %d", len(streams))
+	}
+	for _, s := range streams {
+		if len(s.Readings) == 0 {
+			t.Errorf("stream %s empty", s.Device)
+		}
+	}
+	times := []float64{0, 1, 2}
+	gt := GroundTruth(fleet, times)
+	if len(gt) != 3 || len(gt[0]) != 3 {
+		t.Fatalf("ground truth shape %dx%d", len(gt), len(gt[0]))
+	}
+	if math.Abs(gt[0][0]-20) > 1e-9 { // temperature field at t=0
+		t.Errorf("gt[0][0] = %v, want 20", gt[0][0])
+	}
+}
+
+func TestSampleFleetDeterminism(t *testing.T) {
+	fleet := EnvironmentalFleet(0.7)
+	a, err := SampleFleet(fleet, 24, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleFleet(fleet, 24, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].Readings) != len(b[i].Readings) {
+			t.Fatal("same seed produced different stream lengths")
+		}
+		for j := range a[i].Readings {
+			if a[i].Readings[j] != b[i].Readings[j] {
+				t.Fatal("same seed produced different readings")
+			}
+		}
+	}
+}

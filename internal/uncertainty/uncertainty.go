@@ -1,0 +1,211 @@
+// Package uncertainty implements the uncertainty models Section I-B and IV
+// call for: Gaussian and interval value models with propagation through
+// affine operations, and a per-stage ledger that records how much
+// information each pipeline phase destroys — the bookkeeping whose cost the
+// paper identifies as the reason uncertainty models are usually unavailable
+// to the analytics phase ("one can keep track of the uncertainty associated
+// to the reconstructed data only to some point, because of the cost and the
+// operational difficulties of such a task").
+package uncertainty
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Gaussian is a value with Gaussian uncertainty.
+type Gaussian struct {
+	Mean float64
+	Var  float64 // >= 0
+}
+
+// NewGaussian validates the variance.
+func NewGaussian(mean, variance float64) (Gaussian, error) {
+	if variance < 0 || math.IsNaN(variance) {
+		return Gaussian{}, fmt.Errorf("uncertainty: negative variance %g", variance)
+	}
+	return Gaussian{Mean: mean, Var: variance}, nil
+}
+
+// Add returns the sum of two independent Gaussian values.
+func (g Gaussian) Add(h Gaussian) Gaussian {
+	return Gaussian{Mean: g.Mean + h.Mean, Var: g.Var + h.Var}
+}
+
+// Scale returns a·g.
+func (g Gaussian) Scale(a float64) Gaussian {
+	return Gaussian{Mean: a * g.Mean, Var: a * a * g.Var}
+}
+
+// StdDev returns the standard deviation.
+func (g Gaussian) StdDev() float64 { return math.Sqrt(g.Var) }
+
+// Fuse combines two independent Gaussian measurements of the same quantity
+// by inverse-variance weighting — the optimal linear fusion of two sensors.
+// A zero-variance input dominates entirely.
+func (g Gaussian) Fuse(h Gaussian) Gaussian {
+	switch {
+	case g.Var == 0 && h.Var == 0:
+		return Gaussian{Mean: (g.Mean + h.Mean) / 2, Var: 0}
+	case g.Var == 0:
+		return g
+	case h.Var == 0:
+		return h
+	}
+	wg, wh := 1/g.Var, 1/h.Var
+	return Gaussian{
+		Mean: (wg*g.Mean + wh*h.Mean) / (wg + wh),
+		Var:  1 / (wg + wh),
+	}
+}
+
+// Interval is a worst-case value model [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// NewInterval validates the bounds.
+func NewInterval(lo, hi float64) (Interval, error) {
+	if lo > hi {
+		return Interval{}, fmt.Errorf("uncertainty: interval [%g, %g] inverted", lo, hi)
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// Add returns the Minkowski sum.
+func (iv Interval) Add(jv Interval) Interval {
+	return Interval{Lo: iv.Lo + jv.Lo, Hi: iv.Hi + jv.Hi}
+}
+
+// Scale returns a·iv.
+func (iv Interval) Scale(a float64) Interval {
+	lo, hi := a*iv.Lo, a*iv.Hi
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Intersect returns the intersection and whether it is nonempty.
+func (iv Interval) Intersect(jv Interval) (Interval, bool) {
+	lo := math.Max(iv.Lo, jv.Lo)
+	hi := math.Min(iv.Hi, jv.Hi)
+	if lo > hi {
+		return Interval{}, false
+	}
+	return Interval{Lo: lo, Hi: hi}, true
+}
+
+// Entry is one stage's record in the uncertainty ledger.
+type Entry struct {
+	Stage       string
+	Description string
+	// BiasIntroduced estimates systematic error added by the stage (e.g.
+	// mean imputation pulling values toward the column mean).
+	BiasIntroduced float64
+	// VarianceIntroduced estimates stochastic error added by the stage.
+	VarianceIntroduced float64
+	// InfoLost is the fraction of information discarded (e.g. dropped rows
+	// or features); in [0, 1].
+	InfoLost float64
+	// Tracked reports whether the stage maintained an uncertainty model for
+	// its output. Once any stage reports Tracked = false, downstream
+	// veracity claims become unsupported (the paper's broken trust chain).
+	Tracked bool
+}
+
+// Ledger accumulates per-stage entries along a pipeline run.
+type Ledger struct {
+	entries []Entry
+}
+
+// Record appends an entry.
+func (l *Ledger) Record(e Entry) { l.entries = append(l.entries, e) }
+
+// Entries returns a copy of the recorded entries.
+func (l *Ledger) Entries() []Entry { return append([]Entry(nil), l.entries...) }
+
+// Veracious reports whether every stage maintained its uncertainty model —
+// the precondition for the analytics phase to annotate predictions with
+// veracity, as Section IV demands.
+func (l *Ledger) Veracious() bool {
+	for _, e := range l.entries {
+		if !e.Tracked {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstUntracked returns the name of the first stage that dropped the
+// uncertainty model, or "" if none did.
+func (l *Ledger) FirstUntracked() string {
+	for _, e := range l.entries {
+		if !e.Tracked {
+			return e.Stage
+		}
+	}
+	return ""
+}
+
+// TotalBias sums the absolute bias introduced across stages.
+func (l *Ledger) TotalBias() float64 {
+	s := 0.0
+	for _, e := range l.entries {
+		s += math.Abs(e.BiasIntroduced)
+	}
+	return s
+}
+
+// TotalVariance sums variance introduced across stages (independence
+// assumption).
+func (l *Ledger) TotalVariance() float64 {
+	s := 0.0
+	for _, e := range l.entries {
+		s += e.VarianceIntroduced
+	}
+	return s
+}
+
+// InfoRetained multiplies stage-wise information retention (1 - InfoLost).
+func (l *Ledger) InfoRetained() float64 {
+	r := 1.0
+	for _, e := range l.entries {
+		loss := e.InfoLost
+		if loss < 0 {
+			loss = 0
+		}
+		if loss > 1 {
+			loss = 1
+		}
+		r *= 1 - loss
+	}
+	return r
+}
+
+// String renders the ledger as a readable chain-of-trust report.
+func (l *Ledger) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "uncertainty ledger (%d stages)\n", len(l.entries))
+	for i, e := range l.entries {
+		mark := "✓"
+		if !e.Tracked {
+			mark = "✗"
+		}
+		fmt.Fprintf(&sb, "  %d. [%s] %-16s bias=%.4f var=%.4f lost=%.2f  %s\n",
+			i+1, mark, e.Stage, e.BiasIntroduced, e.VarianceIntroduced, e.InfoLost, e.Description)
+	}
+	if l.Veracious() {
+		sb.WriteString("  chain of trust: INTACT — predictions can carry veracity estimates\n")
+	} else {
+		fmt.Fprintf(&sb, "  chain of trust: BROKEN at %q — prediction veracity unsupported\n", l.FirstUntracked())
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+package uncertainty
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianOps(t *testing.T) {
+	a, err := NewGaussian(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewGaussian(2, 9)
+	sum := a.Add(b)
+	if sum.Mean != 3 || sum.Var != 13 {
+		t.Errorf("Add = %+v", sum)
+	}
+	sc := a.Scale(-2)
+	if sc.Mean != -2 || sc.Var != 16 {
+		t.Errorf("Scale = %+v", sc)
+	}
+	if a.StdDev() != 2 {
+		t.Errorf("StdDev = %v", a.StdDev())
+	}
+	if _, err := NewGaussian(0, -1); err == nil {
+		t.Error("negative variance accepted")
+	}
+}
+
+func TestGaussianFuse(t *testing.T) {
+	a := Gaussian{Mean: 0, Var: 1}
+	b := Gaussian{Mean: 10, Var: 1}
+	f := a.Fuse(b)
+	if f.Mean != 5 || f.Var != 0.5 {
+		t.Errorf("equal-precision fuse = %+v, want mean 5 var 0.5", f)
+	}
+	// Precise sensor dominates.
+	c := Gaussian{Mean: 3, Var: 0}
+	if got := a.Fuse(c); got != c {
+		t.Errorf("zero-variance fuse = %+v, want the exact value", got)
+	}
+	if got := c.Fuse(a); got != c {
+		t.Errorf("zero-variance fuse (reversed) = %+v", got)
+	}
+	both := c.Fuse(Gaussian{Mean: 5, Var: 0})
+	if both.Mean != 4 || both.Var != 0 {
+		t.Errorf("two exact values fuse = %+v", both)
+	}
+}
+
+func TestGaussianFusePrecisionProperty(t *testing.T) {
+	// Fusion never increases variance beyond the best input.
+	f := func(m1, m2 float64, v1, v2 uint8) bool {
+		a := Gaussian{Mean: clampf(m1), Var: float64(v1%50) + 0.1}
+		b := Gaussian{Mean: clampf(m2), Var: float64(v2%50) + 0.1}
+		fz := a.Fuse(b)
+		return fz.Var <= math.Min(a.Var, b.Var)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampf(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1000)
+}
+
+func TestIntervalOps(t *testing.T) {
+	a, err := NewInterval(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterval(2, 0); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	b, _ := NewInterval(-1, 1)
+	sum := a.Add(b)
+	if sum.Lo != -1 || sum.Hi != 3 {
+		t.Errorf("Add = %+v", sum)
+	}
+	neg := a.Scale(-1)
+	if neg.Lo != -2 || neg.Hi != 0 {
+		t.Errorf("Scale(-1) = %+v", neg)
+	}
+	if a.Width() != 2 || !a.Contains(1) || a.Contains(3) {
+		t.Error("Width/Contains wrong")
+	}
+	iv, ok := a.Intersect(b)
+	if !ok || iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("Intersect = %+v ok=%v", iv, ok)
+	}
+	c, _ := NewInterval(5, 6)
+	if _, ok := a.Intersect(c); ok {
+		t.Error("disjoint intervals intersected")
+	}
+}
+
+func TestLedgerTrustChain(t *testing.T) {
+	l := &Ledger{}
+	l.Record(Entry{Stage: "merge", Tracked: true, InfoLost: 0})
+	l.Record(Entry{Stage: "impute", Tracked: true, BiasIntroduced: 0.1, VarianceIntroduced: 0.2, InfoLost: 0.1})
+	if !l.Veracious() {
+		t.Error("fully tracked ledger should be veracious")
+	}
+	if l.FirstUntracked() != "" {
+		t.Error("no untracked stage expected")
+	}
+	l.Record(Entry{Stage: "blackbox", Tracked: false})
+	if l.Veracious() {
+		t.Error("ledger with untracked stage should not be veracious")
+	}
+	if l.FirstUntracked() != "blackbox" {
+		t.Errorf("FirstUntracked = %q", l.FirstUntracked())
+	}
+	if got := l.TotalBias(); got != 0.1 {
+		t.Errorf("TotalBias = %v", got)
+	}
+	if got := l.TotalVariance(); got != 0.2 {
+		t.Errorf("TotalVariance = %v", got)
+	}
+	if got := l.InfoRetained(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("InfoRetained = %v, want 0.9", got)
+	}
+	if len(l.Entries()) != 3 {
+		t.Error("Entries length wrong")
+	}
+	s := l.String()
+	if !strings.Contains(s, "BROKEN") || !strings.Contains(s, "blackbox") {
+		t.Errorf("String missing trust verdict: %s", s)
+	}
+}
+
+func TestLedgerInfoRetainedClamps(t *testing.T) {
+	l := &Ledger{}
+	l.Record(Entry{Stage: "weird", InfoLost: 2, Tracked: true})
+	if got := l.InfoRetained(); got != 0 {
+		t.Errorf("InfoRetained with loss > 1 = %v, want 0", got)
+	}
+	l2 := &Ledger{}
+	l2.Record(Entry{Stage: "weird", InfoLost: -1, Tracked: true})
+	if got := l2.InfoRetained(); got != 1 {
+		t.Errorf("InfoRetained with negative loss = %v, want 1", got)
+	}
+}
+
+func TestLedgerStringIntact(t *testing.T) {
+	l := &Ledger{}
+	l.Record(Entry{Stage: "ok", Tracked: true})
+	if !strings.Contains(l.String(), "INTACT") {
+		t.Error("intact chain should render INTACT")
+	}
+}

@@ -1,0 +1,135 @@
+// Package iotml is the public API of the reproduction of "Toward
+// IoT-Friendly Learning Models" (Damiani, Gianini, Ceci, Malerba — ICDCS
+// 2018): partition-driven multiple kernel learning over faceted IoT data,
+// seeded by Pawlak rough sets and searched along Loeb–Damiani–D'Antona
+// symmetric chains of the partition lattice, plus the adversarially
+// modeled acquisition/preparation/analytics pipeline of the paper's
+// Section IV.
+//
+// # Quickstart
+//
+//	cfg := iotml.DefaultBiometricConfig()
+//	train := iotml.SyntheticBiometric(cfg, iotml.NewRNG(1))
+//	train.Standardize()
+//	res, err := iotml.PartitionDrivenMKL(train, iotml.FitConfig{})
+//	// res.Best is the selected kernel partition, res.Score its CV value.
+//
+// The examples/ directory contains four runnable programs; cmd/iotml
+// regenerates every table, figure and claim of the paper (run `iotml run
+// all`). Subsystem packages live under internal/ and are re-exported here
+// where they form the public surface.
+package iotml
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/game"
+	"repro/internal/kernel"
+	"repro/internal/mkl"
+	"repro/internal/partition"
+	"repro/internal/pipeline"
+	"repro/internal/rough"
+	"repro/internal/stats"
+)
+
+// Core fit API.
+type (
+	// FitConfig configures PartitionDrivenMKL.
+	FitConfig = core.FitConfig
+	// FitResult is the outcome of PartitionDrivenMKL.
+	FitResult = core.FitResult
+	// SearchStrategy selects the lattice exploration strategy.
+	SearchStrategy = core.SearchStrategy
+)
+
+// Search strategies.
+const (
+	SearchChain                 = core.SearchChain
+	SearchChainFirstImprovement = core.SearchChainFirstImprovement
+	SearchGreedy                = core.SearchGreedy
+	SearchExhaustive            = core.SearchExhaustive
+)
+
+// PartitionDrivenMKL runs the paper's Section III procedure end to end.
+func PartitionDrivenMKL(d *Dataset, cfg FitConfig) (*FitResult, error) {
+	return core.PartitionDrivenMKL(d, cfg)
+}
+
+// Deploy retrains a chosen configuration on train and scores it on test.
+func Deploy(train, test *Dataset, p Partition, cfg MKLConfig) (float64, error) {
+	return core.Deploy(train, test, p, cfg)
+}
+
+// Data model.
+type (
+	// Dataset is a labeled faceted dataset.
+	Dataset = dataset.Dataset
+	// View is a named facet of the feature set.
+	View = dataset.View
+	// BiometricConfig parameterizes the synthetic faceted workload.
+	BiometricConfig = dataset.BiometricConfig
+)
+
+// SyntheticBiometric generates the faceted identification workload.
+func SyntheticBiometric(cfg BiometricConfig, rng *rand.Rand) *Dataset {
+	return dataset.SyntheticBiometric(cfg, rng)
+}
+
+// DefaultBiometricConfig returns the benchmark workload configuration.
+func DefaultBiometricConfig() BiometricConfig { return dataset.DefaultBiometricConfig() }
+
+// NewRNG returns a deterministic pseudo-random generator.
+func NewRNG(seed int64) *rand.Rand { return stats.NewRNG(seed) }
+
+// Lattice machinery.
+type (
+	// Partition is a set partition of {1..n} in the paper's notation.
+	Partition = partition.Partition
+)
+
+// ParsePartition reads the paper's "1/23/4" notation.
+func ParsePartition(s string) (Partition, error) { return partition.Parse(s) }
+
+// FinestPartition returns the all-singletons partition of {1..n}.
+func FinestPartition(n int) Partition { return partition.Finest(n) }
+
+// CoarsestPartition returns the one-block partition of {1..n}.
+func CoarsestPartition(n int) Partition { return partition.Coarsest(n) }
+
+// Kernels and MKL plumbing.
+type (
+	// Kernel is a positive-semidefinite similarity function.
+	Kernel = kernel.Kernel
+	// MKLConfig assembles kernel factory, combiner, learner and CV.
+	MKLConfig = mkl.Config
+	// RBF is the Gaussian kernel.
+	RBF = kernel.RBF
+	// Linear is the inner-product kernel.
+	Linear = kernel.Linear
+)
+
+// FromPartition builds the multiple-kernel configuration of a partition.
+func FromPartition(p Partition, factory kernel.BlockKernelFactory, c kernel.Combiner) Kernel {
+	return kernel.FromPartition(p, factory, c)
+}
+
+// Rough sets.
+type (
+	// RoughTable is a discrete information system.
+	RoughTable = rough.Table
+)
+
+// PhonesExample returns the paper's four-phone table.
+func PhonesExample() *RoughTable { return rough.PhonesExample() }
+
+// Pipeline and games.
+type (
+	// Pipeline composes acquisition/preparation/analytics stages.
+	Pipeline = pipeline.Pipeline
+	// PipelineStage is one pipeline service.
+	PipelineStage = pipeline.Stage
+	// Bimatrix is a two-player normal-form game.
+	Bimatrix = game.Bimatrix
+)

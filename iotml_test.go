@@ -1,0 +1,53 @@
+package iotml
+
+import (
+	"testing"
+
+	"repro/internal/mkl"
+)
+
+func TestPublicAPIQuickstartPath(t *testing.T) {
+	cfg := DefaultBiometricConfig()
+	cfg.N = 100
+	train := SyntheticBiometric(cfg, NewRNG(1))
+	train.Standardize()
+	test := SyntheticBiometric(cfg, NewRNG(2))
+	test.Standardize()
+
+	res, err := PartitionDrivenMKL(train, FitConfig{
+		MKL: mkl.Config{Objective: mkl.KernelAlignment, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.N() != train.D() {
+		t.Fatalf("partition over %d features, want %d", res.Best.N(), train.D())
+	}
+	acc, err := Deploy(train, test, res.Best, MKLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 0.5 {
+		t.Errorf("deployed accuracy = %v, want better than chance", acc)
+	}
+}
+
+func TestPublicAPIPartitionHelpers(t *testing.T) {
+	p, err := ParsePartition("1/23/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 3 {
+		t.Errorf("blocks = %d", p.NumBlocks())
+	}
+	if FinestPartition(4).Rank() != 0 || CoarsestPartition(4).Rank() != 3 {
+		t.Error("finest/coarsest ranks wrong")
+	}
+}
+
+func TestPublicAPIRoughExample(t *testing.T) {
+	tbl := PhonesExample()
+	if tbl.N() != 4 {
+		t.Errorf("phones table has %d rows", tbl.N())
+	}
+}
