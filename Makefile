@@ -1,0 +1,41 @@
+# Local targets mirror the CI jobs in .github/workflows/ci.yml one-to-one,
+# so a green `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: all build vet fmt lint test short race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+lint: vet fmt
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build lint test race bench-smoke

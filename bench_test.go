@@ -235,3 +235,128 @@ func BenchmarkMicro_ChainSearch_18features(b *testing.B) {
 		}
 	}
 }
+
+// --- sequential vs parallel search on the synthetic biometric workload ---
+//
+// One benchmark per (strategy, parallelism) pair; compare e.g.
+// BenchmarkParallel_ChainSearch_Seq with BenchmarkParallel_ChainSearch_W4
+// to measure the speedup of Parallelism=4 over the sequential path. The
+// selected partition and score are asserted identical inside the loop, so
+// these benchmarks also re-check the determinism guarantee on every run.
+
+func parallelBenchData(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	cfg := dataset.DefaultBiometricConfig()
+	cfg.N = 120
+	d := dataset.SyntheticBiometric(cfg, stats.NewRNG(4))
+	d.Standardize()
+	return d
+}
+
+func benchChainSearch(b *testing.B, workers int) {
+	d := parallelBenchData(b)
+	seed := partition.Coarsest(d.D())
+	ref, err := mkl.NewEvaluator(d, mkl.Config{Objective: mkl.CVAccuracy, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := mkl.ChainSearch(ref, seed, mkl.BestOfChain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := mkl.NewEvaluator(d, mkl.Config{Objective: mkl.CVAccuracy, Seed: 1, Parallelism: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res *mkl.Result
+		if workers == 1 {
+			res, err = mkl.ChainSearch(e, seed, mkl.BestOfChain)
+		} else {
+			res, err = mkl.ChainSearchParallel(e, seed, mkl.BestOfChain)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Best.Equal(want.Best) || res.Score != want.Score {
+			b.Fatalf("workers=%d: (%v, %v), sequential (%v, %v)", workers, res.Best, res.Score, want.Best, want.Score)
+		}
+	}
+}
+
+func BenchmarkParallel_ChainSearch_Seq(b *testing.B) { benchChainSearch(b, 1) }
+func BenchmarkParallel_ChainSearch_W2(b *testing.B)  { benchChainSearch(b, 2) }
+func BenchmarkParallel_ChainSearch_W4(b *testing.B)  { benchChainSearch(b, 4) }
+
+func benchExhaustiveCone(b *testing.B, workers int) {
+	// 7-feature workload from the coarsest seed: the full cone is Bell(7) =
+	// 877 candidate configurations.
+	const m = 7
+	rng := stats.NewRNG(4)
+	d := &dataset.Dataset{}
+	for i := 0; i < 120; i++ {
+		y := 1
+		if rng.Float64() < 0.5 {
+			y = -1
+		}
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			if j < (m+1)/2 {
+				row[j] = float64(y)*0.8 + rng.NormFloat64()*0.5
+			} else {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	seed := partition.Coarsest(m)
+	ref, err := mkl.NewEvaluator(d, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := mkl.ExhaustiveCone(ref, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := mkl.NewEvaluator(d, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1, Parallelism: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res *mkl.Result
+		if workers == 1 {
+			res, err = mkl.ExhaustiveCone(e, seed)
+		} else {
+			res, err = mkl.ExhaustiveConeParallel(e, seed)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Best.Equal(want.Best) || res.Score != want.Score {
+			b.Fatalf("workers=%d: (%v, %v), sequential (%v, %v)", workers, res.Best, res.Score, want.Best, want.Score)
+		}
+	}
+}
+
+func BenchmarkParallel_ExhaustiveCone_Seq(b *testing.B) { benchExhaustiveCone(b, 1) }
+func BenchmarkParallel_ExhaustiveCone_W2(b *testing.B)  { benchExhaustiveCone(b, 2) }
+func BenchmarkParallel_ExhaustiveCone_W4(b *testing.B)  { benchExhaustiveCone(b, 4) }
+
+func BenchmarkParallel_RunCatalogueFast_Seq(b *testing.B) { benchCatalogue(b, 1) }
+func BenchmarkParallel_RunCatalogueFast_W4(b *testing.B)  { benchCatalogue(b, 4) }
+
+func benchCatalogue(b *testing.B, workers int) {
+	// Mirror cmd/iotml's `run all`: the catalogue level gets the whole
+	// budget and rows inside each experiment run sequentially, so the
+	// benchmark measures the configuration the CLI actually ships.
+	experiments.SetParallelism(1)
+	defer experiments.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCatalogue(true, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

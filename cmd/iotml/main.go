@@ -3,18 +3,26 @@
 //
 // Usage:
 //
-//	iotml list               list the experiment catalogue
-//	iotml run all [--fast]   run every experiment (--fast skips expensive ones)
-//	iotml run E7             run one experiment by id
-//	iotml table1             print Table I (alias for run E1)
-//	iotml figure2 [--dot]    print Figure 2 (or its DOT rendering)
-//	iotml debruijn <n>       print the de Bruijn SCD of B_n
+//	iotml [-parallel N] list               list the experiment catalogue
+//	iotml [-parallel N] run all [--fast]   run every experiment (--fast skips expensive ones)
+//	iotml [-parallel N] run E7             run one experiment by id
+//	iotml table1                           print Table I (alias for run E1)
+//	iotml figure2 [--dot]                  print Figure 2 (or its DOT rendering)
+//	iotml debruijn <n>                     print the de Bruijn SCD of B_n
+//
+// -parallel N bounds total concurrency: `run all` spends the budget across
+// experiments (independent experiments run concurrently, their rows
+// sequentially), while single-experiment runs spend it across the rows
+// inside the experiment; 0 (the default) means all available cores, 1
+// forces fully sequential execution. Output is identical at every setting
+// (only E7's wall-clock ms column varies run to run).
 package main
 
 import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -26,7 +34,41 @@ func main() {
 	}
 }
 
+// parseParallel strips a -parallel/--parallel flag (as "-parallel N" or
+// "-parallel=N") from args, returning the remaining arguments and the
+// requested worker count (0 when absent, meaning all cores).
+func parseParallel(args []string) ([]string, int, error) {
+	rest := make([]string, 0, len(args))
+	workers := 0
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, val, eq := strings.Cut(a, "=")
+		if name != "-parallel" && name != "--parallel" {
+			rest = append(rest, a)
+			continue
+		}
+		if !eq {
+			if i+1 >= len(args) {
+				return nil, 0, fmt.Errorf("-parallel needs a worker count")
+			}
+			i++
+			val = args[i]
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil || v < 0 {
+			return nil, 0, fmt.Errorf("-parallel needs a non-negative integer, got %q", val)
+		}
+		workers = v
+	}
+	return rest, workers, nil
+}
+
 func run(args []string) error {
+	args, workers, err := parseParallel(args)
+	if err != nil {
+		return err
+	}
+	experiments.SetParallelism(workers)
 	if len(args) == 0 {
 		usage()
 		return nil
@@ -47,14 +89,20 @@ func run(args []string) error {
 		}
 		if args[1] == "all" {
 			fast := len(args) > 2 && args[2] == "--fast"
-			for _, r := range experiments.All() {
-				if fast && r.Expensive {
-					fmt.Printf("%s — skipped (--fast)\n\n", r.ID)
+			// The catalogue level gets the whole -parallel budget; rows
+			// inside each experiment run sequentially so total concurrency
+			// stays bounded by N rather than N².
+			experiments.SetParallelism(1)
+			results, err := experiments.RunCatalogue(fast, workers)
+			if err != nil {
+				return err
+			}
+			for _, res := range results {
+				if res.Table == nil {
+					fmt.Printf("%s — skipped (--fast)\n\n", res.Runner.ID)
 					continue
 				}
-				if err := runOne(r); err != nil {
-					return err
-				}
+				fmt.Println(res.Table)
 			}
 			return nil
 		}
@@ -110,5 +158,10 @@ commands:
   run <id>           run one experiment (e.g. run E7)
   table1             print the paper's Table I
   figure2 [--dot]    print the paper's Figure 2 (optionally as GraphViz DOT)
-  debruijn <n>       print the de Bruijn symmetric chain decomposition of B_n`)
+  debruijn <n>       print the de Bruijn symmetric chain decomposition of B_n
+
+flags:
+  -parallel N        worker pool size for run all and per-experiment rows
+                     (0 = all cores, the default; 1 = fully sequential;
+                     output is deterministic at every setting)`)
 }

@@ -16,6 +16,8 @@ func TestRunDispatch(t *testing.T) {
 		{"run", "E1"},
 		{"run", "E3"},
 		{"run", "E5"},
+		{"-parallel", "2", "run", "E1"},
+		{"--parallel=4", "list"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v) failed: %v", args, err)
@@ -30,9 +32,27 @@ func TestRunErrors(t *testing.T) {
 		{"run", "E999"},
 		{"debruijn", "nope"},
 		{"debruijn", "99"},
+		{"-parallel", "list"},
+		{"-parallel", "-3", "list"},
+		{"list", "-parallel"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
+	}
+}
+
+func TestParseParallel(t *testing.T) {
+	args, workers, err := parseParallel([]string{"-parallel", "3", "run", "all"})
+	if err != nil || workers != 3 || len(args) != 2 || args[0] != "run" {
+		t.Fatalf("got args=%v workers=%d err=%v", args, workers, err)
+	}
+	args, workers, err = parseParallel([]string{"run", "all", "--parallel=8"})
+	if err != nil || workers != 8 || len(args) != 2 {
+		t.Fatalf("got args=%v workers=%d err=%v", args, workers, err)
+	}
+	args, workers, err = parseParallel([]string{"list"})
+	if err != nil || workers != 0 || len(args) != 1 {
+		t.Fatalf("got args=%v workers=%d err=%v", args, workers, err)
 	}
 }

@@ -20,6 +20,11 @@ import (
 // FitConfig configures PartitionDrivenMKL. Zero values select the paper's
 // defaults: rough-set accuracy seeding with K up to 2 features, chain
 // search with the best-of-chain rule, 4-fold CV scoring with kernel ridge.
+//
+// Parallelism is configured through MKL.Parallelism: 0 (the default) uses
+// runtime.GOMAXPROCS(0) workers, 1 forces the sequential strategies, and
+// n > 1 uses n workers. The parallel strategies are deterministic — the
+// selected partition and score are identical at every setting.
 type FitConfig struct {
 	// SeedMaxK bounds the size of the rough-set-selected block K
 	// (default 2).
@@ -87,16 +92,18 @@ func PartitionDrivenMKL(d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// The *Parallel strategies fall back to their sequential counterparts
+	// themselves when the configured parallelism resolves to one worker.
 	var res *mkl.Result
 	switch cfg.Search {
 	case SearchGreedy:
-		res, err = mkl.GreedyRefine(e, seed)
+		res, err = mkl.GreedyRefineParallel(e, seed)
 	case SearchExhaustive:
-		res, err = mkl.ExhaustiveCone(e, seed)
+		res, err = mkl.ExhaustiveConeParallel(e, seed)
 	case SearchChainFirstImprovement:
-		res, err = mkl.ChainSearch(e, seed, mkl.FirstImprovement)
+		res, err = mkl.ChainSearchParallel(e, seed, mkl.FirstImprovement)
 	default:
-		res, err = mkl.ChainSearch(e, seed, mkl.BestOfChain)
+		res, err = mkl.ChainSearchParallel(e, seed, mkl.BestOfChain)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: search: %w", err)

@@ -37,48 +37,62 @@ func SearchCost(maxN int) (*Table, error) {
 		Title:  "Exploration cost in kernel-config evaluations (Section III claim)",
 		Header: []string{"m = |S-K|", "Bell(m) exhaustive", "measured exhaustive", "chain (linear)", "greedy refine", "chain/exh score gap"},
 	}
-	for m := 3; m <= maxN; m++ {
+	if maxN < 2 {
+		maxN = 2 // degenerate sweep: no rows, like the old loop
+	}
+	rows := make([][]interface{}, maxN-2) // one per m = 3..maxN, filled concurrently
+	err := forEachRow(len(rows), func(idx int) error {
+		m := idx + 3
 		bell := combinat.Bell(m)
 		measuredEx := "-"
 		gap := "-"
-		var chainEvals, greedyEvals int
 
 		d := syntheticForDim(m, 60, int64(m))
 		seed := partition.Coarsest(m)
+		// The three strategies keep separate evaluators (so each row's eval
+		// counts stay per-strategy) but share one Gram-block cache over d.
+		factory := kernel.RBFFactory(1.0)
+		gramCache := kernel.NewBlockGramCache(d.X, factory, 0)
+		rowCfg := mkl.Config{Objective: mkl.KernelAlignment, Seed: 1, Factory: factory, GramCache: gramCache}
 
-		eChain, err := mkl.NewEvaluator(d, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1})
+		eChain, err := mkl.NewEvaluator(d, rowCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		resChain, err := mkl.ChainSearch(eChain, seed, mkl.BestOfChain)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		chainEvals = resChain.Evaluations
 
-		eGreedy, err := mkl.NewEvaluator(d, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1})
+		eGreedy, err := mkl.NewEvaluator(d, rowCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		resGreedy, err := mkl.GreedyRefine(eGreedy, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		greedyEvals = resGreedy.Evaluations
 
 		if m <= 8 {
-			eEx, err := mkl.NewEvaluator(d, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1})
+			eEx, err := mkl.NewEvaluator(d, rowCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			resEx, err := mkl.ExhaustiveCone(eEx, seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			measuredEx = fmt.Sprint(resEx.Evaluations)
 			gap = fmt.Sprintf("%.4f", resEx.Score-resChain.Score)
 		}
-		t.AddRow(m, bell.String(), measuredEx, chainEvals, greedyEvals, gap)
+		rows[idx] = []interface{}{m, bell.String(), measuredEx, resChain.Evaluations, resGreedy.Evaluations, gap}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cells := range rows {
+		t.AddRow(cells...)
 	}
 	t.Note("chain search is exactly linear in m; exhaustive grows as Bell(m)")
 	t.Note("score gap = exhaustive best alignment - chain best alignment (>= 0)")
@@ -120,26 +134,42 @@ func HeadlineMKL(seed int64) (*Table, error) {
 		Header: []string{"strategy", "partition", "cv-score", "holdout acc", "evals", "ms"},
 	}
 	train, test := facetWorkload(180, seed)
-	e, err := mkl.NewEvaluator(train, mkl.Config{Objective: mkl.CVAccuracy, Folds: 4, Seed: seed})
-	if err != nil {
-		return nil, err
+	// One Gram-block cache shared by every strategy row: the rows run
+	// concurrently on separate evaluators, but block sub-matrices computed
+	// by any row are reused by all of them.
+	factory := kernel.RBFFactory(1.0)
+	gramCache := kernel.NewBlockGramCache(train.X, factory, 0)
+	newEval := func() (*mkl.Evaluator, error) {
+		return mkl.NewEvaluator(train, mkl.Config{
+			Objective: mkl.CVAccuracy, Folds: 4, Seed: seed,
+			Factory: factory, GramCache: gramCache,
+		})
 	}
 	seedPart := partition.Coarsest(train.D())
 
 	type strat struct {
 		name string
-		run  func() (*mkl.Result, error)
+		run  func(e *mkl.Evaluator) (*mkl.Result, error)
 	}
 	strats := []strat{
-		{"global kernel", func() (*mkl.Result, error) { return mkl.SingleGlobalKernel(e) }},
-		{"uniform per-feature", func() (*mkl.Result, error) { return mkl.UniformPerFeature(e) }},
-		{"view oracle", func() (*mkl.Result, error) { return mkl.ViewOracle(e) }},
-		{"chain search", func() (*mkl.Result, error) { return mkl.ChainSearch(e, seedPart, mkl.BestOfChain) }},
-		{"greedy refine", func() (*mkl.Result, error) { return mkl.GreedyRefine(e, seedPart) }},
+		{"global kernel", mkl.SingleGlobalKernel},
+		{"uniform per-feature", mkl.UniformPerFeature},
+		{"view oracle", mkl.ViewOracle},
+		{"chain search", func(e *mkl.Evaluator) (*mkl.Result, error) { return mkl.ChainSearch(e, seedPart, mkl.BestOfChain) }},
+		{"greedy refine", func(e *mkl.Evaluator) (*mkl.Result, error) { return mkl.GreedyRefine(e, seedPart) }},
 	}
+	// Rows run sequentially on purpose: the ms column is the per-strategy
+	// cost the paper's complexity discussion leans on, and concurrent
+	// sibling rows would contend for cores and turn it into noise. The
+	// shared Gram-block cache still spares each strategy the sub-matrices
+	// its predecessors computed.
 	for _, s := range strats {
+		e, err := newEval()
+		if err != nil {
+			return nil, err
+		}
 		start := time.Now()
-		res, err := s.run()
+		res, err := s.run(e)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.name, err)
 		}
@@ -164,10 +194,8 @@ func RoughSeeding(seed int64) (*Table, error) {
 		Header: []string{"seeding", "K attrs", "seed partition", "cv-score", "holdout acc"},
 	}
 	train, test := facetWorkload(180, seed)
-	e, err := mkl.NewEvaluator(train, mkl.Config{Objective: mkl.CVAccuracy, Folds: 4, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
+	factory := kernel.RBFFactory(1.0)
+	gramCache := kernel.NewBlockGramCache(train.X, factory, 0)
 
 	type seeding struct {
 		name string
@@ -193,20 +221,36 @@ func RoughSeeding(seed int64) (*Table, error) {
 			return p, []string{"first half"}, err
 		}},
 	}
-	for _, s := range seedings {
+	rows := make([][]interface{}, len(seedings))
+	err := forEachRow(len(seedings), func(i int) error {
+		s := seedings[i]
 		sp, attrs, err := s.mk()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.name, err)
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		e, err := mkl.NewEvaluator(train, mkl.Config{
+			Objective: mkl.CVAccuracy, Folds: 4, Seed: seed,
+			Factory: factory, GramCache: gramCache,
+		})
+		if err != nil {
+			return err
 		}
 		res, err := mkl.ChainSearch(e, sp, mkl.BestOfChain)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		acc, err := mkl.HoldoutAccuracy(train, test, res.Best, mkl.Config{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(s.name, fmt.Sprint(attrs), sp.String(), res.Score, acc)
+		rows[i] = []interface{}{s.name, fmt.Sprint(attrs), sp.String(), res.Score, acc}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cells := range rows {
+		t.AddRow(cells...)
 	}
 	t.Note("the paper selects K dynamically by approximation accuracy on")
 	t.Note("benchmark concepts rather than statically")
@@ -364,20 +408,34 @@ func AblationChainSource(seed int64) (*Table, error) {
 			return mkl.ChainBeamSearch(e, seedPart, 3)
 		}},
 	}
-	for _, s := range sources {
-		e, err := mkl.NewEvaluator(train, mkl.Config{Objective: mkl.CVAccuracy, Folds: 4, Seed: seed})
+	factory := kernel.RBFFactory(1.0)
+	gramCache := kernel.NewBlockGramCache(train.X, factory, 0)
+	rows := make([][]interface{}, len(sources))
+	err := forEachRow(len(sources), func(i int) error {
+		s := sources[i]
+		e, err := mkl.NewEvaluator(train, mkl.Config{
+			Objective: mkl.CVAccuracy, Folds: 4, Seed: seed,
+			Factory: factory, GramCache: gramCache,
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.run(e)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.name, err)
+			return fmt.Errorf("%s: %w", s.name, err)
 		}
 		acc, err := mkl.HoldoutAccuracy(train, test, res.Best, mkl.Config{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(s.name, res.Best.String(), res.Score, acc, res.Evaluations)
+		rows[i] = []interface{}{s.name, res.Best.String(), res.Score, acc, res.Evaluations}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cells := range rows {
+		t.AddRow(cells...)
 	}
 	t.Note("all three stay linear (or beam-linear) in the feature count;")
 	t.Note("the dendrogram chain adapts its merge order to feature correlation")

@@ -1,0 +1,137 @@
+// Gram-block caching: sibling partitions in a lattice search share most of
+// their blocks, so the per-block Gram matrices — the expensive part of
+// scoring a configuration — are cached per dataset and reused across
+// candidates (and across the worker evaluators of a parallel search).
+package kernel
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/linalg"
+	"repro/internal/partition"
+)
+
+// DefaultGramCacheBlocks bounds how many distinct feature blocks a
+// BlockGramCache retains before it stops admitting new entries. An
+// exhaustive cone over a free block of m features touches 2^m - 1 distinct
+// blocks, so the default comfortably covers m <= 10 while keeping worst-case
+// memory at DefaultGramCacheBlocks × n² floats.
+const DefaultGramCacheBlocks = 1024
+
+// BlockGramCache memoizes per-block Gram matrices for one fixed dataset and
+// block-kernel factory. It is safe for concurrent use: a parallel search
+// shares one cache across all worker evaluators, so a block computed by any
+// worker is reused by every sibling candidate that contains it.
+//
+// Cached matrices are shared read-only; callers must combine them into a
+// separate output buffer (see GramForPartition) and never mutate them.
+type BlockGramCache struct {
+	x       [][]float64
+	factory BlockKernelFactory
+	limit   int
+
+	mu sync.RWMutex
+	m  map[string]*linalg.Matrix
+}
+
+// NewBlockGramCache returns a cache over dataset rows x using factory to
+// build each block kernel. limit bounds the number of retained blocks:
+// 0 selects DefaultGramCacheBlocks, negative values disable retention
+// (every block is recomputed — useful only for measuring the cache's win).
+func NewBlockGramCache(x [][]float64, factory BlockKernelFactory, limit int) *BlockGramCache {
+	if limit == 0 {
+		limit = DefaultGramCacheBlocks
+	}
+	return &BlockGramCache{x: x, factory: factory, limit: limit, m: map[string]*linalg.Matrix{}}
+}
+
+// Len reports how many block Grams are currently cached.
+func (c *BlockGramCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// blockKey fingerprints a block by its sorted 0-based feature indices.
+// Blocks coming from partition.Blocks() are already sorted, so the key is
+// canonical without re-sorting.
+func blockKey(feats []int) string {
+	buf := make([]byte, 0, 4*len(feats))
+	for i, f := range feats {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(f), 10)
+	}
+	return string(buf)
+}
+
+// BlockGram returns the Gram matrix of the block kernel on the given
+// 0-based feature indices, computing and caching it on first use. The
+// returned matrix is shared and must not be mutated.
+func (c *BlockGramCache) BlockGram(feats []int) *linalg.Matrix {
+	key := blockKey(feats)
+	c.mu.RLock()
+	g, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return g
+	}
+	// Compute outside the lock: two workers may race on the same block and
+	// both compute it, but the result is identical and the first store wins.
+	k := Subspace{Base: c.factory(feats), Features: feats}
+	g = Gram(k, c.x)
+	c.mu.Lock()
+	if prev, ok := c.m[key]; ok {
+		g = prev
+	} else if len(c.m) < c.limit {
+		c.m[key] = g
+	}
+	c.mu.Unlock()
+	return g
+}
+
+// GramForPartition assembles the full Gram matrix of the multiple-kernel
+// configuration induced by p from the cached per-block Grams, writing into
+// out (reallocated if nil or mis-sized) and returning it.
+//
+// The assembly is bit-identical to Gram(FromPartition(p, factory, combiner), x):
+// blocks are combined in partition.Blocks() order with the same per-entry
+// operation order (weighted sum with weight 1/numBlocks, or product), so a
+// search scoring through the cache returns the exact floating-point scores
+// of the uncached path.
+func (c *BlockGramCache) GramForPartition(p partition.Partition, combiner Combiner, out *linalg.Matrix) *linalg.Matrix {
+	n := len(c.x)
+	if out == nil || out.Rows != n || out.Cols != n {
+		out = linalg.NewMatrix(n, n)
+	}
+	blocks := p.Blocks()
+	grams := make([]*linalg.Matrix, len(blocks))
+	for i, blk := range blocks {
+		feats := make([]int, len(blk))
+		for j, f := range blk {
+			feats[j] = f - 1
+		}
+		grams[i] = c.BlockGram(feats)
+	}
+	if combiner == CombineProduct {
+		for i := 0; i < n*n; i++ {
+			acc := 1.0
+			for _, g := range grams {
+				acc *= g.Data[i]
+			}
+			out.Data[i] = acc
+		}
+		return out
+	}
+	w := 1 / float64(len(grams))
+	for i := 0; i < n*n; i++ {
+		acc := 0.0
+		for _, g := range grams {
+			acc += w * g.Data[i]
+		}
+		out.Data[i] = acc
+	}
+	return out
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
 	"repro/internal/linalg"
+	"repro/internal/parsearch"
 	"repro/internal/partition"
 	"repro/internal/rough"
 	"repro/internal/stats"
@@ -53,7 +54,7 @@ const (
 
 // Config assembles the pieces of a partition-driven MKL run. Zero values
 // select reasonable defaults (RBF blocks, sum combiner, ridge learner,
-// 4-fold CV).
+// 4-fold CV, parallel search across all available cores).
 type Config struct {
 	Factory   kernel.BlockKernelFactory
 	Combiner  kernel.Combiner
@@ -61,6 +62,24 @@ type Config struct {
 	Folds     int
 	Seed      int64
 	Objective Objective
+
+	// Parallelism selects the worker count of the parallel search
+	// strategies (ExhaustiveConeParallel, ChainSearchParallel,
+	// GreedyRefineParallel): 0 means runtime.GOMAXPROCS(0), 1 forces the
+	// single-worker path, n > 1 uses n workers. Results are deterministic
+	// and identical to the sequential strategies at every setting.
+	Parallelism int
+
+	// GramCacheBlocks bounds the per-dataset Gram-block cache that lets
+	// sibling partitions sharing feature blocks reuse kernel sub-matrices:
+	// 0 selects kernel.DefaultGramCacheBlocks, negative disables caching.
+	GramCacheBlocks int
+
+	// GramCache optionally injects a shared Gram-block cache (it must have
+	// been built over this evaluator's dataset rows and factory). Several
+	// evaluators over one dataset — e.g. the per-row evaluators of a
+	// concurrent experiment table — can then share block Grams.
+	GramCache *kernel.BlockGramCache
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +105,19 @@ type Evaluator struct {
 	evals int // cache misses: configurations actually computed
 	calls int // every Score call, cache hits included
 	cache map[string]float64
+
+	// shared lets scratch evaluators of one parallel search pool their
+	// score cache (nil on a standalone evaluator).
+	shared *sharedScores
+	// gramCache memoizes per-block Gram matrices; shared across the scratch
+	// evaluators of a parallel search (the cache is concurrency-safe).
+	gramCache *kernel.BlockGramCache
+	// gramBuf is this evaluator's reusable full-Gram assembly buffer; each
+	// worker of a parallel search owns its evaluator, so the buffer is
+	// reused across candidates without reallocation and without races.
+	gramBuf *linalg.Matrix
+	// scratchSub and scratchCross are the reusable CV fold buffers.
+	scratchSub, scratchCross *linalg.Matrix
 }
 
 // NewEvaluator validates the dataset and returns an Evaluator.
@@ -96,7 +128,27 @@ func NewEvaluator(d *dataset.Dataset, cfg Config) (*Evaluator, error) {
 	if d.N() == 0 {
 		return nil, fmt.Errorf("mkl: empty dataset")
 	}
-	return &Evaluator{cfg: cfg.withDefaults(), data: d, cache: map[string]float64{}}, nil
+	cfg = cfg.withDefaults()
+	e := &Evaluator{cfg: cfg, data: d, cache: map[string]float64{}}
+	// An explicitly injected cache always wins — GramCacheBlocks only
+	// governs the cache this evaluator would otherwise create for itself.
+	if cfg.GramCache != nil {
+		e.gramCache = cfg.GramCache
+	} else if cfg.GramCacheBlocks >= 0 {
+		e.gramCache = kernel.NewBlockGramCache(d.X, cfg.Factory, cfg.GramCacheBlocks)
+	}
+	return e, nil
+}
+
+// workers resolves the configured parallelism to a concrete worker count.
+func (e *Evaluator) workers() int { return parsearch.Workers(e.cfg.Parallelism) }
+
+// scratchClone returns a worker-owned evaluator for a parallel search: it
+// shares the dataset, configuration, Gram-block cache, and pooled score
+// cache, but owns its counters and scratch Gram buffers, so concurrent
+// workers never contend on per-candidate allocations.
+func (e *Evaluator) scratchClone(shared *sharedScores) *Evaluator {
+	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache}
 }
 
 // Evaluations returns the number of kernel configurations actually
@@ -120,8 +172,23 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 	if s, ok := e.cache[key]; ok {
 		return s, nil
 	}
-	k := kernel.FromPartition(p, e.cfg.Factory, e.cfg.Combiner)
-	gram := kernel.Gram(k, e.data.X)
+	if e.shared != nil {
+		if s, ok := e.shared.get(key); ok {
+			if e.cache == nil {
+				e.cache = map[string]float64{}
+			}
+			e.cache[key] = s
+			return s, nil
+		}
+	}
+	var gram *linalg.Matrix
+	if e.gramCache != nil {
+		e.gramBuf = e.gramCache.GramForPartition(p, e.cfg.Combiner, e.gramBuf)
+		gram = e.gramBuf
+	} else {
+		k := kernel.FromPartition(p, e.cfg.Factory, e.cfg.Combiner)
+		gram = kernel.Gram(k, e.data.X)
+	}
 	var score float64
 	switch e.cfg.Objective {
 	case KernelAlignment:
@@ -136,11 +203,29 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 		score = s
 	}
 	e.evals++
+	if e.cache == nil {
+		e.cache = map[string]float64{}
+	}
 	e.cache[key] = score
+	if e.shared != nil {
+		e.shared.put(key, score)
+	}
 	return score, nil
 }
 
-// cvAccuracy runs k-fold CV re-using one precomputed full Gram matrix.
+// ensureMatrix returns m if it already has shape r×c, else a fresh matrix.
+// Callers overwrite every entry, so stale contents never leak.
+func ensureMatrix(m *linalg.Matrix, r, c int) *linalg.Matrix {
+	if m == nil || m.Rows != r || m.Cols != c {
+		return linalg.NewMatrix(r, c)
+	}
+	return m
+}
+
+// cvAccuracy runs k-fold CV re-using one precomputed full Gram matrix. The
+// fold sub- and cross-Gram buffers live on the evaluator and are reused
+// across candidates (trainers clone what they keep, and each fold's model
+// is consumed before the buffers are rewritten).
 func (e *Evaluator) cvAccuracy(gram *linalg.Matrix) (float64, error) {
 	n := e.data.N()
 	rng := stats.NewRNG(e.cfg.Seed + 17)
@@ -148,7 +233,8 @@ func (e *Evaluator) cvAccuracy(gram *linalg.Matrix) (float64, error) {
 	total := 0.0
 	for f := range trains {
 		tr, te := trains[f], tests[f]
-		sub := linalg.NewMatrix(len(tr), len(tr))
+		e.scratchSub = ensureMatrix(e.scratchSub, len(tr), len(tr))
+		sub := e.scratchSub
 		for i, a := range tr {
 			for j, b := range tr {
 				sub.Set(i, j, gram.At(a, b))
@@ -162,7 +248,8 @@ func (e *Evaluator) cvAccuracy(gram *linalg.Matrix) (float64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("mkl: fold %d: %w", f, err)
 		}
-		cross := linalg.NewMatrix(len(te), len(tr))
+		e.scratchCross = ensureMatrix(e.scratchCross, len(te), len(tr))
+		cross := e.scratchCross
 		for i, a := range te {
 			for j, b := range tr {
 				cross.Set(i, j, gram.At(a, b))

@@ -1,0 +1,285 @@
+// Parallel counterparts of the lattice-search strategies. Candidate
+// partitions fan out to a bounded pool of workers (internal/parsearch),
+// each worker owning a scratch Evaluator whose Gram buffers are reused
+// across candidates; per-block Gram matrices are shared through the
+// evaluator's concurrency-safe Gram-block cache. The reduction over scores
+// is a sequential scan in canonical candidate order, so the selected
+// partition and score are bit-identical to the sequential strategies at
+// every worker count.
+package mkl
+
+import (
+	"sync"
+
+	"repro/internal/parsearch"
+	"repro/internal/partition"
+)
+
+// sharedScores pools candidate scores across the scratch evaluators of one
+// parallel search, so a configuration computed by any worker is a cache hit
+// for every other.
+type sharedScores struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+func newSharedScores(seed map[string]float64) *sharedScores {
+	m := make(map[string]float64, len(seed))
+	for k, v := range seed {
+		m[k] = v
+	}
+	return &sharedScores{m: m}
+}
+
+func (s *sharedScores) get(key string) (float64, bool) {
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (s *sharedScores) put(key string, v float64) {
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// scorePool owns the per-search parallel machinery: the worker-owned
+// scratch evaluators (whose Gram buffers persist across every batch of the
+// search) and the pooled score cache, seeded once from the parent
+// evaluator's cache. Call finish exactly once, after the last scoreAll,
+// to fold worker caches and counters back into the parent.
+type scorePool struct {
+	parent  *Evaluator
+	workers int
+	scratch []*Evaluator
+}
+
+func newScorePool(e *Evaluator) *scorePool {
+	p := &scorePool{parent: e, workers: e.workers()}
+	if p.workers > 1 {
+		shared := newSharedScores(e.cache)
+		p.scratch = make([]*Evaluator, p.workers)
+		for w := range p.scratch {
+			p.scratch[w] = e.scratchClone(shared)
+		}
+	}
+	return p
+}
+
+// scoreAll evaluates every candidate and returns the scores in candidate
+// order, plus any per-candidate errors (index-aligned, nil when the whole
+// set scored clean). Candidate errors do not abort the pool: the caller
+// scans candidates in canonical order and surfaces an error only when its
+// sequential counterpart would actually have reached that candidate, so
+// speculation never fails a search the sequential strategy would finish.
+// With one worker it scores directly on the parent (the exact sequential
+// path).
+func (p *scorePool) scoreAll(cands []partition.Partition) ([]float64, []error) {
+	var errs []error
+	noteErr := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(cands))
+		}
+		errs[i] = err
+	}
+	if p.workers <= 1 {
+		scores := make([]float64, len(cands))
+		for i, q := range cands {
+			s, err := p.parent.Score(q)
+			if err != nil {
+				noteErr(i, err)
+				continue
+			}
+			scores[i] = s
+		}
+		return scores, errs
+	}
+	var mu sync.Mutex
+	scores, _ := parsearch.Run(len(cands), p.workers, func(worker, index int) (float64, error) {
+		s, err := p.scratch[worker].Score(cands[index])
+		if err != nil {
+			mu.Lock()
+			noteErr(index, err)
+			mu.Unlock()
+			return 0, nil
+		}
+		return s, nil
+	})
+	return scores, errs
+}
+
+// finish folds the scratch evaluators' score caches and counters into the
+// parent evaluator. Call once, before reading the parent's counters.
+func (p *scorePool) finish() {
+	e := p.parent
+	for _, w := range p.scratch {
+		e.calls += w.calls
+		e.evals += w.evals
+		for k, v := range w.cache {
+			if _, ok := e.cache[k]; !ok {
+				e.cache[k] = v
+			}
+		}
+	}
+	p.scratch = nil
+}
+
+// errAt returns the recorded error for candidate i, if any.
+func errAt(errs []error, i int) error {
+	if errs == nil {
+		return nil
+	}
+	return errs[i]
+}
+
+// reduceBest folds scores (in canonical candidate order) into res exactly
+// like the sequential searches do — keep the incumbent unless a candidate
+// scores strictly higher — so ties resolve to the earliest candidate
+// independently of which worker finished first. A recorded candidate error
+// is surfaced at the position the sequential scan would have hit it.
+func reduceBest(res *Result, cands []partition.Partition, scores []float64, errs []error) error {
+	for i, s := range scores {
+		if err := errAt(errs, i); err != nil {
+			return err
+		}
+		res.Trace = append(res.Trace, Step{Partition: cands[i], Score: s})
+		if s > res.Score {
+			res.Score = s
+			res.Best = cands[i]
+		}
+	}
+	return nil
+}
+
+// ExhaustiveConeParallel is ExhaustiveCone with the Bell(m) candidate cone
+// scored by Config.Parallelism workers. The selected partition, score, and
+// trace order are bit-identical to ExhaustiveCone.
+func ExhaustiveConeParallel(e *Evaluator, seed partition.Partition) (*Result, error) {
+	if e.workers() <= 1 {
+		return ExhaustiveCone(e, seed)
+	}
+	freeBlock, freeElems := freeBlockOf(seed)
+	m := len(freeElems)
+	start := e.Calls()
+	var subs []partition.Partition
+	if m == 1 {
+		subs = []partition.Partition{partition.Finest(1)}
+	} else {
+		subs = partition.All(m)
+	}
+	cands := make([]partition.Partition, len(subs))
+	for i, q := range subs {
+		cands[i] = coneToFull(seed, freeBlock, freeElems, q)
+	}
+	pool := newScorePool(e)
+	scores, errs := pool.scoreAll(cands)
+	pool.finish()
+	res := &Result{Score: -1}
+	if err := reduceBest(res, cands, scores, errs); err != nil {
+		return nil, err
+	}
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// ChainSearchParallel is ChainSearch with the chain's partitions scored by
+// Config.Parallelism workers. The selected partition, score, and trace are
+// bit-identical to ChainSearch for both ascent rules. Under
+// FirstImprovement with more than one worker the full chain is evaluated
+// speculatively (the chain is only m long), so Result.Evaluations may
+// exceed the sequential count even though the selection is identical.
+func ChainSearchParallel(e *Evaluator, seed partition.Partition, rule AscentRule) (*Result, error) {
+	if e.workers() <= 1 {
+		return ChainSearch(e, seed, rule)
+	}
+	freeBlock, freeElems := freeBlockOf(seed)
+	m := len(freeElems)
+	start := e.Calls()
+
+	ordered := alignmentOrder(e, freeElems)
+	chain := principalChain(m)
+	cands := make([]partition.Partition, len(chain))
+	for i, q := range chain {
+		cands[i] = coneToFull(seed, freeBlock, ordered, q)
+	}
+	pool := newScorePool(e)
+	scores, errs := pool.scoreAll(cands)
+	pool.finish()
+	res := &Result{Score: -1}
+	for i, s := range scores {
+		if err := errAt(errs, i); err != nil {
+			return nil, err
+		}
+		res.Trace = append(res.Trace, Step{Partition: cands[i], Score: s})
+		if s > res.Score {
+			res.Score = s
+			res.Best = cands[i]
+		} else if rule == FirstImprovement && i > 0 {
+			break
+		}
+	}
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// GreedyRefineParallel is GreedyRefine with each hill-climbing step's lower
+// covers scored by Config.Parallelism workers. Covers are evaluated in
+// bounded chunks — a large block has exponentially many covers, and the
+// sequential climb usually improves early, so speculation past the first
+// improvement is capped at one chunk. Within and across chunks the climb
+// takes the same first-improvement step as GreedyRefine (the earliest
+// cover in canonical order that improves), so the final partition, score,
+// and trace are bit-identical; Result.Evaluations may exceed the
+// sequential count by at most a chunk per step.
+func GreedyRefineParallel(e *Evaluator, seed partition.Partition) (*Result, error) {
+	workers := e.workers()
+	if workers <= 1 {
+		return GreedyRefine(e, seed)
+	}
+	chunk := workers * speculationPerWorker
+	start := e.Calls()
+	cur := seed
+	curScore, err := e.Score(cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Best: cur, Score: curScore, Trace: []Step{{cur, curScore}}}
+	pool := newScorePool(e) // after the seed Score, so the pool sees it
+	for {
+		cands := cur.LowerCovers()
+		improved := false
+		for off := 0; off < len(cands) && !improved; off += chunk {
+			end := off + chunk
+			if end > len(cands) {
+				end = len(cands)
+			}
+			scores, errs := pool.scoreAll(cands[off:end])
+			for i, s := range scores {
+				if err := errAt(errs, i); err != nil {
+					pool.finish()
+					return nil, err
+				}
+				res.Trace = append(res.Trace, Step{cands[off+i], s})
+				if s > curScore+1e-12 {
+					cur, curScore = cands[off+i], s
+					improved = true
+					break // first-improvement descent, in canonical cover order
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	pool.finish()
+	res.Best = cur
+	res.Score = curScore
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// speculationPerWorker sizes the per-worker lookahead of
+// GreedyRefineParallel's cover chunks: enough work to keep every worker
+// busy, small enough that an early first improvement wastes little.
+const speculationPerWorker = 4

@@ -1,0 +1,279 @@
+package mkl
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+func parallelTestData(t testing.TB, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultBiometricConfig()
+	cfg.N = n
+	d := dataset.SyntheticBiometric(cfg, stats.NewRNG(seed))
+	d.Standardize()
+	return d
+}
+
+// TestChainSearchParallelDeterminism is the headline guarantee: the
+// parallel chain search returns the same best partition and score as the
+// sequential one at every worker count.
+func TestChainSearchParallelDeterminism(t *testing.T) {
+	d := parallelTestData(t, 60, 7)
+	seed := partition.Coarsest(d.D())
+	for _, obj := range []Objective{KernelAlignment, CVAccuracy} {
+		eSeq, err := NewEvaluator(d, Config{Objective: obj, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ChainSearch(eSeq, seed, BestOfChain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			ePar, err := NewEvaluator(d, Config{Objective: obj, Seed: 3, Parallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ChainSearchParallel(ePar, seed, BestOfChain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Best.Equal(want.Best) {
+				t.Errorf("obj=%v workers=%d: best %v, sequential %v", obj, workers, got.Best, want.Best)
+			}
+			if got.Score != want.Score {
+				t.Errorf("obj=%v workers=%d: score %v, sequential %v (must be bit-identical)",
+					obj, workers, got.Score, want.Score)
+			}
+			if got.Evaluations != want.Evaluations {
+				t.Errorf("obj=%v workers=%d: evaluations %d, sequential %d",
+					obj, workers, got.Evaluations, want.Evaluations)
+			}
+			if len(got.Trace) != len(want.Trace) {
+				t.Fatalf("obj=%v workers=%d: trace length %d, sequential %d",
+					obj, workers, len(got.Trace), len(want.Trace))
+			}
+			for i := range want.Trace {
+				if !got.Trace[i].Partition.Equal(want.Trace[i].Partition) || got.Trace[i].Score != want.Trace[i].Score {
+					t.Fatalf("obj=%v workers=%d: trace[%d] differs", obj, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestChainSearchParallelFirstImprovementDeterminism(t *testing.T) {
+	d := parallelTestData(t, 60, 11)
+	seed := partition.Coarsest(d.D())
+	eSeq, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ChainSearch(eSeq, seed, FirstImprovement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		ePar, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 5, Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ChainSearchParallel(ePar, seed, FirstImprovement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Best.Equal(want.Best) || got.Score != want.Score {
+			t.Errorf("workers=%d: (%v, %v), sequential (%v, %v)",
+				workers, got.Best, got.Score, want.Best, want.Score)
+		}
+		if len(got.Trace) != len(want.Trace) {
+			t.Errorf("workers=%d: trace length %d, sequential %d", workers, len(got.Trace), len(want.Trace))
+		}
+	}
+}
+
+func TestExhaustiveConeParallelDeterminism(t *testing.T) {
+	// Small feature count so the Bell(m) cone stays cheap.
+	d := parallelTestDataDim(t, 6, 50, 13)
+	seed := partition.Coarsest(d.D())
+	eSeq, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExhaustiveCone(eSeq, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		ePar, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 1, Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExhaustiveConeParallel(ePar, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Best.Equal(want.Best) || got.Score != want.Score {
+			t.Errorf("workers=%d: (%v, %v), sequential (%v, %v)",
+				workers, got.Best, got.Score, want.Best, want.Score)
+		}
+		if got.Evaluations != want.Evaluations {
+			t.Errorf("workers=%d: evaluations %d, sequential %d", workers, got.Evaluations, want.Evaluations)
+		}
+		for i := range want.Trace {
+			if !got.Trace[i].Partition.Equal(want.Trace[i].Partition) || got.Trace[i].Score != want.Trace[i].Score {
+				t.Fatalf("workers=%d: trace[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestGreedyRefineParallelDeterminism(t *testing.T) {
+	// Small feature count: greedy's first step enumerates the 2^(m-1)-1
+	// two-way splits of the coarsest block.
+	d := parallelTestDataDim(t, 8, 50, 17)
+	seed := partition.Coarsest(d.D())
+	eSeq, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GreedyRefine(eSeq, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		ePar, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 9, Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GreedyRefineParallel(ePar, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Best.Equal(want.Best) || got.Score != want.Score {
+			t.Errorf("workers=%d: (%v, %v), sequential (%v, %v)",
+				workers, got.Best, got.Score, want.Best, want.Score)
+		}
+		if len(got.Trace) != len(want.Trace) {
+			t.Errorf("workers=%d: trace length %d, sequential %d", workers, len(got.Trace), len(want.Trace))
+		}
+	}
+}
+
+// parallelTestDataDim builds an m-feature two-class dataset (the first half
+// of the features informative) for cone-sized tests.
+func parallelTestDataDim(t testing.TB, m, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	d := &dataset.Dataset{}
+	for i := 0; i < n; i++ {
+		y := 1
+		if rng.Float64() < 0.5 {
+			y = -1
+		}
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			if j < (m+1)/2 {
+				row[j] = float64(y)*0.8 + rng.NormFloat64()*0.5
+			} else {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// TestParallelSearchFromMultipleSeedsConcurrently exercises the engine the
+// way the race detector likes it: several parallel searches run at once
+// from different seed partitions, sharing one Gram-block cache.
+func TestParallelSearchFromMultipleSeedsConcurrently(t *testing.T) {
+	d := parallelTestData(t, 50, 23)
+	cfg := Config{Objective: KernelAlignment, Seed: 2, Parallelism: 4}
+	base, err := NewEvaluator(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GramCache = base.gramCache
+
+	seeds := []partition.Partition{
+		partition.Coarsest(d.D()),
+		d.ViewPartition(),
+		partition.MustFromBlocks(d.D(), [][]int{{1, 2}, rangeInts(3, d.D())}),
+	}
+	var wg sync.WaitGroup
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	for i, s := range seeds {
+		wg.Add(1)
+		go func(i int, s partition.Partition) {
+			defer wg.Done()
+			e, err := NewEvaluator(d, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = ChainSearchParallel(e, s, BestOfChain)
+		}(i, s)
+	}
+	wg.Wait()
+	for i := range seeds {
+		if errs[i] != nil {
+			t.Fatalf("seed %d: %v", i, errs[i])
+		}
+		// Each concurrent search must match its own sequential reference.
+		e, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ChainSearch(e, seeds[i], BestOfChain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !results[i].Best.Equal(want.Best) || results[i].Score != want.Score {
+			t.Errorf("seed %d: (%v, %v), sequential (%v, %v)",
+				i, results[i].Best, results[i].Score, want.Best, want.Score)
+		}
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestGramCacheDisabledStillCorrect(t *testing.T) {
+	d := parallelTestData(t, 40, 29)
+	seed := partition.Coarsest(d.D())
+	eOn, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eOff, err := NewEvaluator(d, Config{Objective: KernelAlignment, Seed: 4, GramCacheBlocks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eOff.gramCache != nil {
+		t.Fatal("negative GramCacheBlocks should disable the cache")
+	}
+	on, err := ChainSearch(eOn, seed, BestOfChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := ChainSearch(eOff, seed, BestOfChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.Best.Equal(off.Best) || on.Score != off.Score {
+		t.Errorf("cached (%v, %v) vs uncached (%v, %v): must be bit-identical",
+			on.Best, on.Score, off.Best, off.Score)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/kernel"
+	"repro/internal/linalg"
 	"repro/internal/partition"
 )
 
@@ -110,10 +111,17 @@ func alignmentOrder(e *Evaluator, feats []int) []int {
 }
 
 // singletonAlignment returns the centered kernel-target alignment of the
-// single-feature kernel for 1-based feature f.
+// single-feature kernel for 1-based feature f. The singleton block Gram
+// comes from the evaluator's Gram-block cache when one is enabled (cloned
+// before centering, since cached matrices are shared read-only).
 func singletonAlignment(e *Evaluator, f int) float64 {
-	k := kernel.Subspace{Base: e.cfg.Factory([]int{f - 1}), Features: []int{f - 1}}
-	g := kernel.Gram(k, e.data.X)
+	var g *linalg.Matrix
+	if e.gramCache != nil {
+		g = e.gramCache.BlockGram([]int{f - 1}).Clone()
+	} else {
+		k := kernel.Subspace{Base: e.cfg.Factory([]int{f - 1}), Features: []int{f - 1}}
+		g = kernel.Gram(k, e.data.X)
+	}
 	kernel.Center(g)
 	return kernel.Alignment(g, e.data.Y)
 }

@@ -1,0 +1,119 @@
+// Package parsearch provides the bounded worker-pool engine behind the
+// parallel partition-search strategies in internal/mkl and the concurrent
+// experiment runner in internal/experiments.
+//
+// # Determinism guarantee
+//
+// Every entry point is deterministic regardless of worker count or
+// goroutine scheduling:
+//
+//   - Run returns scores indexed by candidate position, so a caller's
+//     reduction over them — a scan in index order that keeps the incumbent
+//     unless a candidate scores strictly higher, as internal/mkl does — is
+//     independent of completion order and bit-identical to the equivalent
+//     sequential scan.
+//   - On error, the lowest-indexed error among the candidates that were
+//     evaluated is returned. Candidates abandoned by the early exit may
+//     hide further errors, so callers needing error reports bit-identical
+//     to a sequential scan should record errors per candidate themselves
+//     and scan in index order (internal/mkl does exactly that).
+//
+// Workers are identified by a stable id in [0, workers) so callers can give
+// each worker its own scratch state (internal/mkl hands every worker a
+// scratch Evaluator whose Gram buffers are reused across candidates).
+package parsearch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested parallelism degree: values <= 0 select
+// runtime.GOMAXPROCS(0), everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run evaluates n candidates on a bounded pool of `workers` goroutines and
+// returns their scores in candidate order. score is called as
+// score(worker, index) where worker ∈ [0, workers) identifies the goroutine
+// (stable for scratch-state ownership) and index ∈ [0, n) the candidate.
+//
+// Candidates are claimed dynamically (an atomic cursor), so uneven
+// per-candidate cost load-balances itself. If any call errors, remaining
+// candidates are abandoned as soon as workers observe the failure and the
+// lowest-indexed error among the evaluated candidates is returned (which
+// error was observable can depend on scheduling; see the package comment).
+func Run(n, workers int, score func(worker, index int) (float64, error)) ([]float64, error) {
+	scores := make([]float64, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return scores, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Fast path: no goroutines, exact sequential behavior (stop at the
+		// first error, which is trivially the lowest-index one).
+		for i := 0; i < n; i++ {
+			s, err := score(0, i)
+			if err != nil {
+				return nil, err
+			}
+			scores[i] = s
+		}
+		return scores, nil
+	}
+
+	var cursor, failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if failed.Load() != 0 {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s, err := score(worker, i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(1)
+					return
+				}
+				scores[i] = s
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return scores, nil
+}
+
+// Do runs n independent jobs on a bounded pool of `workers` goroutines and
+// waits for all of them. fn is called as fn(worker, index) with the same
+// worker-id, dynamic-claiming, and error semantics as Run (lowest-indexed
+// error among the jobs that ran; later jobs are abandoned once a failure
+// is observed).
+func Do(n, workers int, fn func(worker, index int) error) error {
+	_, err := Run(n, workers, func(worker, index int) (float64, error) {
+		return 0, fn(worker, index)
+	})
+	return err
+}

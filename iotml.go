@@ -14,6 +14,11 @@
 //	res, err := iotml.PartitionDrivenMKL(train, iotml.FitConfig{})
 //	// res.Best is the selected kernel partition, res.Score its CV value.
 //
+// The lattice search runs on a bounded worker pool sized by
+// FitConfig.MKL.Parallelism (0 = all cores, 1 = sequential); parallel
+// results are bit-identical to sequential ones at every worker count (see
+// internal/parsearch for the determinism guarantee).
+//
 // The examples/ directory contains four runnable programs; cmd/iotml
 // regenerates every table, figure and claim of the paper (run `iotml run
 // all`). Subsystem packages live under internal/ and are re-exported here
