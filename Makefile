@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt lint test short race bench bench-smoke ci
+.PHONY: all build vet fmt lint test short race bench bench-smoke bench-json ci
 
 all: build
 
@@ -37,5 +37,26 @@ bench:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# BENCHTIME tunes the machine-readable benchmark run: the 1x default keeps
+# the CI capture step fast; override with e.g. BENCHTIME=1s for stable
+# numbers worth comparing across commits.
+BENCHTIME ?= 1x
+
+# bench-json runs the Gram-engine and parallel-search suites and captures
+# ns/op + allocs/op per benchmark in BENCH_gram.json, so the perf
+# trajectory is tracked from PR 2 onward (CI uploads it as an artifact).
+# The bench output lands in a temp file first so a benchmark failure fails
+# the target instead of being masked by the final pipe stage, and the
+# committed snapshot is only touched on success. Deliberately not part of
+# `ci`: it would overwrite the committed BENCH_gram.json snapshot with
+# single-iteration noise on every local run (CI runs it as its own step).
+bench-json:
+	@out=$$(mktemp); \
+	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
+		cat $$out; rm -f $$out; exit 1; \
+	fi; \
+	$(GO) run ./cmd/benchjson < $$out > BENCH_gram.json && rm -f $$out
+	@echo "wrote BENCH_gram.json"
 
 ci: build lint test race bench-smoke

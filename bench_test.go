@@ -348,6 +348,87 @@ func BenchmarkParallel_ExhaustiveCone_W4(b *testing.B)  { benchExhaustiveCone(b,
 func BenchmarkParallel_RunCatalogueFast_Seq(b *testing.B) { benchCatalogue(b, 1) }
 func BenchmarkParallel_RunCatalogueFast_W4(b *testing.B)  { benchCatalogue(b, 4) }
 
+// --- scalar vs vectorized Gram engine on the synthetic biometric workload ---
+//
+// BenchmarkGram_* pairs measure the block-level Gram fast path against the
+// pairwise Eval loop (see internal/kernel/blockgram.go), at the kernel
+// level (one multiple-kernel configuration Gram) and at the search level
+// (a full chain search, sequential and parallel). `make bench-json` turns
+// these plus the BenchmarkParallel_* suite into BENCH_gram.json so the
+// perf trajectory is tracked across PRs.
+
+func gramBenchKernel(b *testing.B) (kernel.Kernel, *dataset.Dataset) {
+	b.Helper()
+	d := dataset.SyntheticBiometric(dataset.DefaultBiometricConfig(), stats.NewRNG(1))
+	d.Standardize()
+	k := kernel.FromPartition(d.ViewPartition(), kernel.RBFFactory(1.0), kernel.CombineSum)
+	return k, d
+}
+
+// BenchmarkGram_Config_Scalar is the pairwise baseline: one Eval interface
+// dispatch plus per-pair feature gathering for each of the n² pairs.
+func BenchmarkGram_Config_Scalar(b *testing.B) {
+	k, d := gramBenchKernel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kernel.GramPairwise(k, d.X)
+	}
+}
+
+// BenchmarkGram_Config_Vector routes the same configuration through the
+// dense block engine.
+func BenchmarkGram_Config_Vector(b *testing.B) {
+	k, d := gramBenchKernel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kernel.Gram(k, d.X)
+	}
+}
+
+func BenchmarkGram_SingleRBF_Scalar(b *testing.B) {
+	_, d := gramBenchKernel(b)
+	k := kernel.RBF{Gamma: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kernel.GramPairwise(k, d.X)
+	}
+}
+
+func BenchmarkGram_SingleRBF_Vector(b *testing.B) {
+	_, d := gramBenchKernel(b)
+	k := kernel.RBF{Gamma: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kernel.Gram(k, d.X)
+	}
+}
+
+// benchGramSearch runs a full chain search (CV-accuracy objective, fresh
+// evaluator and Gram-block cache per iteration, so every iteration pays the
+// block Gram computations) with the engine toggled between scalar
+// (ExactGram) and vectorized, sequential and parallel.
+func benchGramSearch(b *testing.B, workers int, exact bool) {
+	d := parallelBenchData(b)
+	seed := partition.Coarsest(d.D())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := mkl.NewEvaluator(d, mkl.Config{
+			Objective: mkl.CVAccuracy, Seed: 1, Parallelism: workers, ExactGram: exact,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mkl.ChainSearchParallel(e, seed, mkl.BestOfChain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGram_ChainSearch_ScalarSeq(b *testing.B) { benchGramSearch(b, 1, true) }
+func BenchmarkGram_ChainSearch_VectorSeq(b *testing.B) { benchGramSearch(b, 1, false) }
+func BenchmarkGram_ChainSearch_ScalarW4(b *testing.B)  { benchGramSearch(b, 4, true) }
+func BenchmarkGram_ChainSearch_VectorW4(b *testing.B)  { benchGramSearch(b, 4, false) }
+
 func benchCatalogue(b *testing.B, workers int) {
 	// Mirror cmd/iotml's `run all`: the catalogue level gets the whole
 	// budget and rows inside each experiment run sequentially, so the

@@ -1,0 +1,36 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// machine-readable JSON on stdout, so CI can archive benchmark results
+// (BENCH_gram.json) and the perf trajectory of the Gram engine is tracked
+// across PRs instead of living in log scrollback.
+//
+// Usage:
+//
+//	go test -bench='^(BenchmarkGram_|BenchmarkParallel_)' -benchmem -run='^$' . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/benchparse"
+)
+
+func main() {
+	report, err := benchparse.Parse(bufio.NewReader(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/combinat"
 	"repro/internal/dataset"
@@ -17,6 +18,9 @@ import (
 
 func main() {
 	cfg := dataset.DefaultBiometricConfig()
+	if os.Getenv("IOTML_EXAMPLE_TINY") != "" {
+		cfg.N = 50 // smoke-test workload (see examples_smoke_test.go)
+	}
 	train := dataset.SyntheticBiometric(cfg, stats.NewRNG(11))
 	train.Standardize()
 	test := dataset.SyntheticBiometric(cfg, stats.NewRNG(12))

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
@@ -20,6 +21,9 @@ import (
 
 func main() {
 	cfg := dataset.DefaultSurfaceConfig()
+	if os.Getenv("IOTML_EXAMPLE_TINY") != "" {
+		cfg.N = 50 // smoke-test workload (see examples_smoke_test.go)
+	}
 	train := dataset.SyntheticObjectSurface(cfg, stats.NewRNG(31))
 	train.Standardize()
 	test := dataset.SyntheticObjectSurface(cfg, stats.NewRNG(32))

@@ -7,14 +7,20 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/adversarial"
 	"repro/internal/game"
 )
 
 func main() {
+	horizon, ganRounds := 200.0, []int{10, 100, 1000, 10000}
+	if os.Getenv("IOTML_EXAMPLE_TINY") != "" {
+		// Smoke-test workload (see examples_smoke_test.go).
+		horizon, ganRounds = 50, []int{10, 100}
+	}
 	fmt.Println("=== preprocessor vs analytics pipeline game ===")
-	pg, err := adversarial.BuildPipelineGame(adversarial.PipelineGameConfig{Seed: 9, Horizon: 200})
+	pg, err := adversarial.BuildPipelineGame(adversarial.PipelineGameConfig{Seed: 9, Horizon: horizon})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, rounds := range []int{10, 100, 1000, 10000} {
+	for _, rounds := range ganRounds {
 		genErr, discVal, _ := gg.Equilibrium(rounds)
 		fmt.Printf("  %6d rounds: discriminator value %.4f, generator E|θ-θ*| %.4f\n",
 			rounds, discVal, genErr)

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	iotml "repro"
 	"repro/internal/mkl"
@@ -16,6 +17,9 @@ func main() {
 	// from four simulated sensors, the structure the paper's introduction
 	// motivates.
 	cfg := iotml.DefaultBiometricConfig()
+	if os.Getenv("IOTML_EXAMPLE_TINY") != "" {
+		cfg.N = 50 // smoke-test workload (see examples_smoke_test.go)
+	}
 	train := iotml.SyntheticBiometric(cfg, iotml.NewRNG(1))
 	train.Standardize()
 	test := iotml.SyntheticBiometric(cfg, iotml.NewRNG(2))

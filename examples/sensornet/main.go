@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/impute"
 	"repro/internal/pipeline"
@@ -16,10 +17,14 @@ import (
 )
 
 func main() {
+	samples := 240.0
+	if os.Getenv("IOTML_EXAMPLE_TINY") != "" {
+		samples = 60 // smoke-test workload (see examples_smoke_test.go)
+	}
 	for _, desync := range []float64{0.0, 0.5, 1.0} {
 		fmt.Printf("=== fleet desynchronization %.1f ===\n", desync)
 		fleet := sensors.EnvironmentalFleet(desync)
-		streams, err := sensors.SampleFleet(fleet, 240, stats.NewRNG(5))
+		streams, err := sensors.SampleFleet(fleet, samples, stats.NewRNG(5))
 		if err != nil {
 			log.Fatal(err)
 		}

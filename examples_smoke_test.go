@@ -1,0 +1,49 @@
+package iotml
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesSmoke builds every program under examples/ and runs it with
+// the tiny smoke workload (IOTML_EXAMPLE_TINY=1), so example drift — an API
+// change that breaks a main.go, or a regression that makes one crash —
+// fails CI instead of rotting silently. The tiny configs keep the whole
+// sweep fast enough to stay enabled under -short.
+func TestExamplesSmoke(t *testing.T) {
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 5 {
+		t.Fatalf("found %d example programs %v, expected at least the 5 shipped ones", len(names), names)
+	}
+
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin+string(os.PathSeparator), "./examples/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(filepath.Join(bin, name))
+			cmd.Env = append(os.Environ(), "IOTML_EXAMPLE_TINY=1")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

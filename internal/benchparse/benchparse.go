@@ -1,0 +1,99 @@
+// Package benchparse parses the text output of `go test -bench` into a
+// structured report — the bridge between the benchmark suites and the
+// machine-readable BENCH_gram.json artifact CI archives each run.
+package benchparse
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including the -GOMAXPROCS suffix,
+	// e.g. "BenchmarkGram_Config_Vector-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was set.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the full parse result: environment header lines plus one entry
+// per benchmark.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and collects every benchmark line.
+// Unrecognized lines (PASS, ok, test logs) are skipped, not errors; only a
+// read failure returns one.
+func Parse(r io.Reader) (*Report, error) {
+	report := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			report.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// parseLine parses one "BenchmarkName-8  163  7840653 ns/op  6116528 B/op
+// 160802 allocs/op" line. Value/unit pairs after the iteration count are
+// positional: a float value followed by its unit token.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		}
+	}
+	return b, seenNs
+}

@@ -1,0 +1,66 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGram_Config_Scalar         	     163	   7840653 ns/op	 6116528 B/op	  160802 allocs/op
+BenchmarkGram_Config_Vector-8       	     729	   1720648 ns/op	  725712 B/op	      18 allocs/op
+BenchmarkParallel_ChainSearch_Seq-8 	      27	  43037947 ns/op
+some unrelated test log line
+PASS
+ok  	repro	10.870s
+`
+
+func TestParseSample(t *testing.T) {
+	r, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || r.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", r.Goos, r.Goarch, r.Pkg)
+	}
+	if !strings.Contains(r.CPU, "Xeon") {
+		t.Errorf("cpu = %q", r.CPU)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(r.Benchmarks))
+	}
+	b := r.Benchmarks[0]
+	if b.Name != "BenchmarkGram_Config_Scalar" || b.Iterations != 163 || b.NsPerOp != 7840653 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 6116528 || b.AllocsPerOp == nil || *b.AllocsPerOp != 160802 {
+		t.Errorf("benchmem fields = %v %v", b.BytesPerOp, b.AllocsPerOp)
+	}
+	// Without -benchmem the memory fields stay absent, not zero.
+	if last := r.Benchmarks[2]; last.BytesPerOp != nil || last.AllocsPerOp != nil {
+		t.Errorf("no-benchmem line grew memory fields: %+v", last)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	input := "BenchmarkBroken abc 123 ns/op\nBenchmarkNoNs-8 12 34 B/op\nBenchmarkOK 10 5 ns/op\n"
+	r, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 1 || r.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("benchmarks = %+v, want only BenchmarkOK", r.Benchmarks)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	r, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %+v", r.Benchmarks)
+	}
+}

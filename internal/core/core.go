@@ -25,6 +25,12 @@ import (
 // runtime.GOMAXPROCS(0) workers, 1 forces the sequential strategies, and
 // n > 1 uses n workers. The parallel strategies are deterministic — the
 // selected partition and score are identical at every setting.
+//
+// Candidate scoring runs on the vectorized block-Gram engine (dense matrix
+// kernels per partition block — see internal/kernel/blockgram.go): exact
+// for linear and polynomial blocks, within 1e-9 elementwise for RBF.
+// Strict reproduction runs can force the scalar pairwise path with
+// MKL.ExactGram.
 type FitConfig struct {
 	// SeedMaxK bounds the size of the rough-set-selected block K
 	// (default 2).

@@ -261,3 +261,38 @@ func TestSurfaceConfigClamps(t *testing.T) {
 		t.Errorf("views without background = %d, want 2", len(d.Views))
 	}
 }
+
+func TestMatrixAndBlockMatrix(t *testing.T) {
+	d := &Dataset{
+		X: [][]float64{{1, 2, 3}, {4, 5, 6}},
+		Y: []int{1, -1},
+	}
+	m := d.Matrix()
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("matrix shape %dx%d", m.Rows, m.Cols)
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if m.At(i, j) != d.X[i][j] {
+				t.Fatalf("matrix (%d,%d) = %v, want %v", i, j, m.At(i, j), d.X[i][j])
+			}
+		}
+	}
+	// Matrix is a copy: mutating it must not leak into the dataset.
+	m.Set(0, 0, 99)
+	if d.X[0][0] != 1 {
+		t.Error("Matrix shares backing storage with the dataset")
+	}
+	b := d.BlockMatrix([]int{2, 0})
+	if b.Rows != 2 || b.Cols != 2 {
+		t.Fatalf("block shape %dx%d", b.Rows, b.Cols)
+	}
+	want := [][]float64{{3, 1}, {6, 4}}
+	for i := range want {
+		for j := range want[i] {
+			if b.At(i, j) != want[i][j] {
+				t.Fatalf("block (%d,%d) = %v, want %v", i, j, b.At(i, j), want[i][j])
+			}
+		}
+	}
+}

@@ -30,9 +30,15 @@ type BlockGramCache struct {
 	x       [][]float64
 	factory BlockKernelFactory
 	limit   int
+	exact   bool
 
 	mu sync.RWMutex
 	m  map[string]*linalg.Matrix
+	// xm caches the contiguous column-block matrices feeding the vectorized
+	// Gram path, so a block's features are gathered once per dataset rather
+	// than re-sliced per instance pair (or re-extracted when the Gram map is
+	// at its limit).
+	xm map[string]*linalg.Matrix
 }
 
 // NewBlockGramCache returns a cache over dataset rows x using factory to
@@ -43,7 +49,43 @@ func NewBlockGramCache(x [][]float64, factory BlockKernelFactory, limit int) *Bl
 	if limit == 0 {
 		limit = DefaultGramCacheBlocks
 	}
-	return &BlockGramCache{x: x, factory: factory, limit: limit, m: map[string]*linalg.Matrix{}}
+	return &BlockGramCache{
+		x: x, factory: factory, limit: limit,
+		m:  map[string]*linalg.Matrix{},
+		xm: map[string]*linalg.Matrix{},
+	}
+}
+
+// SetExact forces every block Gram through the pairwise Eval path (strict
+// reproduction runs — see the determinism contract in blockgram.go). Set it
+// before the cache is shared across goroutines; already-cached blocks are
+// kept, so flip it only on a fresh cache.
+func (c *BlockGramCache) SetExact(exact bool) {
+	c.mu.Lock()
+	c.exact = exact
+	c.mu.Unlock()
+}
+
+// BlockMatrix returns the contiguous column-block matrix of the given
+// 0-based feature indices, extracting and caching it on first use. The
+// returned matrix is shared and must not be mutated.
+func (c *BlockGramCache) BlockMatrix(feats []int) *linalg.Matrix {
+	key := blockKey(feats)
+	c.mu.RLock()
+	sub, ok := c.xm[key]
+	c.mu.RUnlock()
+	if ok {
+		return sub
+	}
+	sub = linalg.FromRowsCols(c.x, feats)
+	c.mu.Lock()
+	if prev, ok := c.xm[key]; ok {
+		sub = prev
+	} else if len(c.xm) < c.limit {
+		c.xm[key] = sub
+	}
+	c.mu.Unlock()
+	return sub
 }
 
 // Len reports how many block Grams are currently cached.
@@ -70,18 +112,33 @@ func blockKey(feats []int) string {
 // BlockGram returns the Gram matrix of the block kernel on the given
 // 0-based feature indices, computing and caching it on first use. The
 // returned matrix is shared and must not be mutated.
+//
+// Block kernels that implement BlockGramKernel are evaluated through the
+// vectorized path over the cached contiguous column block (unless SetExact
+// forced the pairwise path); everything else falls back to per-pair Eval.
 func (c *BlockGramCache) BlockGram(feats []int) *linalg.Matrix {
 	key := blockKey(feats)
 	c.mu.RLock()
 	g, ok := c.m[key]
+	exact := c.exact
 	c.mu.RUnlock()
 	if ok {
 		return g
 	}
 	// Compute outside the lock: two workers may race on the same block and
 	// both compute it, but the result is identical and the first store wins.
-	k := Subspace{Base: c.factory(feats), Features: feats}
-	g = Gram(k, c.x)
+	base := c.factory(feats)
+	if !exact {
+		if bg, ok := base.(BlockGramKernel); ok {
+			fast := linalg.NewMatrix(len(c.x), len(c.x))
+			if bg.GramInto(fast, c.BlockMatrix(feats)) {
+				g = fast
+			}
+		}
+	}
+	if g == nil {
+		g = GramPairwise(Subspace{Base: base, Features: feats}, c.x)
+	}
 	c.mu.Lock()
 	if prev, ok := c.m[key]; ok {
 		g = prev

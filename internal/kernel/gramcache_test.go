@@ -82,6 +82,51 @@ func TestBlockGramCacheLimit(t *testing.T) {
 	}
 }
 
+func TestBlockGramCacheExactMatchesPairwise(t *testing.T) {
+	x := randomRows(14, 5, 7)
+	factory := RBFFactory(1.0)
+	exact := NewBlockGramCache(x, factory, 0)
+	exact.SetExact(true)
+	fast := NewBlockGramCache(x, factory, 0)
+	for _, p := range partition.All(5)[:20] {
+		want := GramPairwise(FromPartition(p, factory, CombineSum), x)
+		got := exact.GramForPartition(p, CombineSum, nil)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("partition %v: exact cache diverged from pairwise at %d", p, i)
+			}
+		}
+		// The fast cache stays within the RBF tolerance of the exact one.
+		v := fast.GramForPartition(p, CombineSum, nil)
+		for i := range want.Data {
+			d := v.Data[i] - want.Data[i]
+			if d > 1e-9 || d < -1e-9 {
+				t.Fatalf("partition %v: vectorized cache off by %v at %d", p, d, i)
+			}
+		}
+	}
+}
+
+func TestBlockMatrixCachedAndCorrect(t *testing.T) {
+	x := randomRows(9, 6, 8)
+	cache := NewBlockGramCache(x, LinearFactory(), 0)
+	feats := []int{1, 3, 5}
+	sub := cache.BlockMatrix(feats)
+	if sub.Rows != 9 || sub.Cols != 3 {
+		t.Fatalf("block matrix shape %dx%d", sub.Rows, sub.Cols)
+	}
+	for i := range x {
+		for k, f := range feats {
+			if sub.At(i, k) != x[i][f] {
+				t.Fatalf("block matrix (%d,%d) = %v, want %v", i, k, sub.At(i, k), x[i][f])
+			}
+		}
+	}
+	if again := cache.BlockMatrix(feats); again != sub {
+		t.Error("block matrix was not cached")
+	}
+}
+
 func TestBlockGramCacheConcurrent(t *testing.T) {
 	x := randomRows(15, 6, 5)
 	factory := RBFFactory(1.0)

@@ -3,6 +3,12 @@
 // restriction of a kernel to a feature block, and the combination of block
 // kernels into a multiple-kernel configuration indexed by a partition of
 // the feature set.
+//
+// Gram matrices are built through a vectorized block engine when the
+// kernel supports it (see BlockGramKernel in blockgram.go, including the
+// determinism contract) and through the scalar per-pair Eval loop
+// otherwise; per-block Grams and column blocks are cached across search
+// candidates by BlockGramCache (gramcache.go).
 package kernel
 
 import (
@@ -205,8 +211,25 @@ func FromPartition(p partition.Partition, factory BlockKernelFactory, combiner C
 	return Sum{Kernels: kernels, Weights: w}
 }
 
-// Gram returns the kernel matrix K[i][j] = k(X[i], X[j]).
+// Gram returns the kernel matrix K[i][j] = k(X[i], X[j]). Kernels that
+// implement BlockGramKernel are evaluated through the vectorized block path
+// (see blockgram.go for the determinism contract); all others fall back to
+// the pairwise Eval loop of GramPairwise.
 func Gram(k Kernel, x [][]float64) *linalg.Matrix {
+	if bg, ok := k.(BlockGramKernel); ok {
+		n := len(x)
+		g := linalg.NewMatrix(n, n)
+		if bg.GramInto(g, linalg.FromRows(x)) {
+			return g
+		}
+	}
+	return GramPairwise(k, x)
+}
+
+// GramPairwise returns the kernel matrix via one Eval call per instance
+// pair — the scalar reference path, kept for kernels without a block fast
+// path and for strict reproduction runs (mkl.Config.ExactGram).
+func GramPairwise(k Kernel, x [][]float64) *linalg.Matrix {
 	n := len(x)
 	g := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
@@ -219,8 +242,21 @@ func Gram(k Kernel, x [][]float64) *linalg.Matrix {
 	return g
 }
 
-// CrossGram returns the rectangular matrix K[i][j] = k(A[i], B[j]).
+// CrossGram returns the rectangular matrix K[i][j] = k(A[i], B[j]),
+// dispatching to the vectorized block path when k supports it.
 func CrossGram(k Kernel, a, b [][]float64) *linalg.Matrix {
+	if bg, ok := k.(BlockGramKernel); ok {
+		g := linalg.NewMatrix(len(a), len(b))
+		if bg.CrossGramInto(g, linalg.FromRows(a), linalg.FromRows(b)) {
+			return g
+		}
+	}
+	return CrossGramPairwise(k, a, b)
+}
+
+// CrossGramPairwise returns the rectangular kernel matrix via per-pair Eval
+// calls — the scalar reference path.
+func CrossGramPairwise(k Kernel, a, b [][]float64) *linalg.Matrix {
 	g := linalg.NewMatrix(len(a), len(b))
 	for i := range a {
 		for j := range b {

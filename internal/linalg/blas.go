@@ -1,0 +1,163 @@
+// Dense level-3 building blocks for the vectorized Gram engine: symmetric
+// rank-k products, rectangular A·Bᵀ products, pairwise squared distances via
+// the ‖x‖² + ‖y‖² − 2⟨x,y⟩ expansion, and contiguous column-block
+// extraction. All routines write into caller-supplied matrices so hot paths
+// (candidate scoring in a lattice search) reuse scratch instead of
+// allocating per call.
+//
+// Determinism contract: inner products accumulate left-to-right in feature
+// order — exactly the order a scalar per-pair kernel evaluation uses — so
+// SyrkInto and GemmNTInto are bit-identical to pairwise dot products. The
+// distance expansion in PairwiseSquaredDistancesInto reorders floating-point
+// operations relative to a direct Σ(xᵢ−yᵢ)² loop and is therefore only
+// accurate to rounding (callers that need the exact scalar result must use
+// the pairwise path).
+package linalg
+
+import "fmt"
+
+// ensureInto returns dst if it already has shape r×c, else a fresh matrix.
+// Callers overwrite every entry, so stale contents never leak.
+func ensureInto(dst *Matrix, r, c int) *Matrix {
+	if dst == nil || dst.Rows != r || dst.Cols != c {
+		return NewMatrix(r, c)
+	}
+	return dst
+}
+
+// SyrkInto computes the symmetric rank-k product X·Xᵀ (dst[i][j] =
+// ⟨row i, row j⟩), writing into dst (reallocated if nil or mis-sized) and
+// returning it. Only the upper triangle is computed; the lower is mirrored,
+// matching the symmetric fill of a pairwise Gram loop.
+func SyrkInto(dst, x *Matrix) *Matrix {
+	n, d := x.Rows, x.Cols
+	dst = ensureInto(dst, n, n)
+	for i := 0; i < n; i++ {
+		ri := x.Data[i*d : (i+1)*d]
+		for j := i; j < n; j++ {
+			rj := x.Data[j*d : (j+1)*d]
+			s := 0.0
+			for k, v := range ri {
+				s += v * rj[k]
+			}
+			dst.Data[i*n+j] = s
+			dst.Data[j*n+i] = s
+		}
+	}
+	return dst
+}
+
+// GemmNTInto computes the rectangular product A·Bᵀ (dst[i][j] =
+// ⟨A row i, B row j⟩), writing into dst (reallocated if nil or mis-sized)
+// and returning it. It panics if the inner dimensions differ.
+func GemmNTInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: GemmNT inner dimension mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	d := a.Cols
+	dst = ensureInto(dst, a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ri := a.Data[i*d : (i+1)*d]
+		for j := 0; j < b.Rows; j++ {
+			rj := b.Data[j*d : (j+1)*d]
+			s := 0.0
+			for k, v := range ri {
+				s += v * rj[k]
+			}
+			dst.Data[i*dst.Cols+j] = s
+		}
+	}
+	return dst
+}
+
+// RowSquaredNorms writes ‖row i‖² into out (reallocated if mis-sized) and
+// returns it.
+func RowSquaredNorms(out []float64, x *Matrix) []float64 {
+	if len(out) != x.Rows {
+		out = make([]float64, x.Rows)
+	}
+	d := x.Cols
+	for i := 0; i < x.Rows; i++ {
+		s := 0.0
+		for _, v := range x.Data[i*d : (i+1)*d] {
+			s += v * v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// PairwiseSquaredDistancesInto computes ‖xᵢ − xⱼ‖² for all row pairs via the
+// expansion ‖xᵢ‖² + ‖xⱼ‖² − 2⟨xᵢ,xⱼ⟩, writing into dst (reallocated if nil
+// or mis-sized) and returning it. Cancellation residue is clamped at zero
+// and the diagonal is exactly zero; off-diagonal entries agree with the
+// direct Σ(xᵢ−yᵢ)² loop to rounding only (see the package determinism
+// contract).
+func PairwiseSquaredDistancesInto(dst, x *Matrix) *Matrix {
+	n := x.Rows
+	dst = SyrkInto(dst, x)
+	norms := make([]float64, n)
+	for i := 0; i < n; i++ {
+		norms[i] = dst.Data[i*n+i]
+	}
+	for i := 0; i < n; i++ {
+		dst.Data[i*n+i] = 0
+		for j := i + 1; j < n; j++ {
+			v := norms[i] + norms[j] - 2*dst.Data[i*n+j]
+			if v < 0 {
+				v = 0
+			}
+			dst.Data[i*n+j] = v
+			dst.Data[j*n+i] = v
+		}
+	}
+	return dst
+}
+
+// CrossSquaredDistancesInto computes ‖aᵢ − bⱼ‖² for all row pairs of two
+// matrices via the same expansion as PairwiseSquaredDistancesInto, writing
+// into dst (reallocated if nil or mis-sized) and returning it.
+func CrossSquaredDistancesInto(dst, a, b *Matrix) *Matrix {
+	dst = GemmNTInto(dst, a, b)
+	na := RowSquaredNorms(nil, a)
+	nb := RowSquaredNorms(nil, b)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			v := na[i] + nb[j] - 2*dst.Data[i*dst.Cols+j]
+			if v < 0 {
+				v = 0
+			}
+			dst.Data[i*dst.Cols+j] = v
+		}
+	}
+	return dst
+}
+
+// ExtractColumns returns the contiguous n×len(cols) submatrix of the given
+// column indices (0-based), materializing a column block once so downstream
+// dense kernels stream it row-major instead of gathering per pair.
+func ExtractColumns(x *Matrix, cols []int) *Matrix {
+	out := NewMatrix(x.Rows, len(cols))
+	for i := 0; i < x.Rows; i++ {
+		src := x.Data[i*x.Cols : (i+1)*x.Cols]
+		dstRow := out.Data[i*len(cols) : (i+1)*len(cols)]
+		for k, c := range cols {
+			dstRow[k] = src[c]
+		}
+	}
+	return out
+}
+
+// FromRowsCols builds the contiguous n×len(cols) matrix of the given
+// column indices (0-based) of row-slice data — ExtractColumns for datasets
+// stored as [][]float64.
+func FromRowsCols(rows [][]float64, cols []int) *Matrix {
+	out := NewMatrix(len(rows), len(cols))
+	for i, r := range rows {
+		dstRow := out.Data[i*len(cols) : (i+1)*len(cols)]
+		for k, c := range cols {
+			dstRow[k] = r[c]
+		}
+	}
+	return out
+}

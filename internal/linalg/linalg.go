@@ -4,7 +4,10 @@
 // Go's machine-learning ecosystem is thin and this repository is stdlib-only,
 // so the handful of primitives the paper's methods need — vector arithmetic,
 // Cholesky factorization, linear solves, and dominant-eigenpair extraction by
-// power iteration — are implemented here from scratch.
+// power iteration — are implemented here from scratch. The dense level-3
+// building blocks feeding the vectorized Gram engine (SyrkInto, GemmNTInto,
+// pairwise squared distances, column-block extraction) live in blas.go and
+// carry an explicit determinism contract relied on by internal/kernel.
 package linalg
 
 import (

@@ -80,6 +80,16 @@ type Config struct {
 	// evaluators over one dataset — e.g. the per-row evaluators of a
 	// concurrent experiment table — can then share block Grams.
 	GramCache *kernel.BlockGramCache
+
+	// ExactGram forces every Gram matrix through the scalar pairwise Eval
+	// path, disabling the vectorized block engine. The block path is
+	// bit-identical for linear and polynomial kernels and within 1e-9
+	// elementwise for RBF (its distance expansion reorders floating-point
+	// operations — see internal/kernel/blockgram.go), so this knob exists
+	// for strict reproduction runs that must match the scalar path to the
+	// last bit. An injected GramCache is trusted as configured by its
+	// creator (set kernel.BlockGramCache.SetExact yourself).
+	ExactGram bool
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +126,10 @@ type Evaluator struct {
 	// worker of a parallel search owns its evaluator, so the buffer is
 	// reused across candidates without reallocation and without races.
 	gramBuf *linalg.Matrix
+	// xm is the dense row-major dataset matrix feeding the vectorized Gram
+	// path when no block cache is enabled. Built once and shared read-only
+	// across the scratch evaluators of a parallel search.
+	xm *linalg.Matrix
 	// scratchSub and scratchCross are the reusable CV fold buffers.
 	scratchSub, scratchCross *linalg.Matrix
 }
@@ -136,6 +150,10 @@ func NewEvaluator(d *dataset.Dataset, cfg Config) (*Evaluator, error) {
 		e.gramCache = cfg.GramCache
 	} else if cfg.GramCacheBlocks >= 0 {
 		e.gramCache = kernel.NewBlockGramCache(d.X, cfg.Factory, cfg.GramCacheBlocks)
+		e.gramCache.SetExact(cfg.ExactGram)
+	}
+	if e.gramCache == nil && !cfg.ExactGram {
+		e.xm = d.Matrix()
 	}
 	return e, nil
 }
@@ -148,7 +166,7 @@ func (e *Evaluator) workers() int { return parsearch.Workers(e.cfg.Parallelism) 
 // cache, but owns its counters and scratch Gram buffers, so concurrent
 // workers never contend on per-candidate allocations.
 func (e *Evaluator) scratchClone(shared *sharedScores) *Evaluator {
-	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache}
+	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, xm: e.xm}
 }
 
 // Evaluations returns the number of kernel configurations actually
@@ -187,7 +205,19 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 		gram = e.gramBuf
 	} else {
 		k := kernel.FromPartition(p, e.cfg.Factory, e.cfg.Combiner)
-		gram = kernel.Gram(k, e.data.X)
+		switch {
+		case e.cfg.ExactGram:
+			gram = kernel.GramPairwise(k, e.data.X)
+		default:
+			// Vectorized path into the worker-owned scratch buffer; the
+			// pairwise loop remains the fallback for Eval-only kernels.
+			var ok bool
+			if e.gramBuf, ok = kernel.GramIntoMatrix(e.gramBuf, k, e.xm); ok {
+				gram = e.gramBuf
+			} else {
+				gram = kernel.GramPairwise(k, e.data.X)
+			}
+		}
 	}
 	var score float64
 	switch e.cfg.Objective {
@@ -582,16 +612,24 @@ func ViewOracle(e *Evaluator) (*Result, error) {
 }
 
 // HoldoutAccuracy retrains the configuration p on all of train and reports
-// accuracy on test — the final deployment measurement.
+// accuracy on test — the final deployment measurement. Gram and cross-Gram
+// matrices go through the vectorized block path unless cfg.ExactGram forces
+// the pairwise one.
 func HoldoutAccuracy(train, test *dataset.Dataset, p partition.Partition, cfg Config) (float64, error) {
 	cfg = cfg.withDefaults()
 	k := kernel.FromPartition(p, cfg.Factory, cfg.Combiner)
-	gram := kernel.Gram(k, train.X)
+	var gram, cross *linalg.Matrix
+	if cfg.ExactGram {
+		gram = kernel.GramPairwise(k, train.X)
+		cross = kernel.CrossGramPairwise(k, test.X, train.X)
+	} else {
+		gram = kernel.Gram(k, train.X)
+		cross = kernel.CrossGram(k, test.X, train.X)
+	}
 	model, err := cfg.Trainer.Train(gram, train.Y)
 	if err != nil {
 		return 0, err
 	}
-	cross := kernel.CrossGram(k, test.X, train.X)
 	pred := kernelmachine.Classify(model.Scores(cross))
 	return stats.Accuracy(pred, test.Y), nil
 }

@@ -113,14 +113,23 @@ func alignmentOrder(e *Evaluator, feats []int) []int {
 // singletonAlignment returns the centered kernel-target alignment of the
 // single-feature kernel for 1-based feature f. The singleton block Gram
 // comes from the evaluator's Gram-block cache when one is enabled (cloned
-// before centering, since cached matrices are shared read-only).
+// before centering, since cached matrices are shared read-only); without a
+// cache it goes through the vectorized path over the dataset's extracted
+// column block, unless ExactGram forces the pairwise loop.
 func singletonAlignment(e *Evaluator, f int) float64 {
 	var g *linalg.Matrix
 	if e.gramCache != nil {
 		g = e.gramCache.BlockGram([]int{f - 1}).Clone()
 	} else {
-		k := kernel.Subspace{Base: e.cfg.Factory([]int{f - 1}), Features: []int{f - 1}}
-		g = kernel.Gram(k, e.data.X)
+		feats := []int{f - 1}
+		base := e.cfg.Factory(feats)
+		ok := false
+		if !e.cfg.ExactGram {
+			g, ok = kernel.GramIntoMatrix(nil, base, e.data.BlockMatrix(feats))
+		}
+		if !ok {
+			g = kernel.GramPairwise(kernel.Subspace{Base: base, Features: feats}, e.data.X)
+		}
 	}
 	kernel.Center(g)
 	return kernel.Alignment(g, e.data.Y)

@@ -1,0 +1,56 @@
+package partition
+
+import "testing"
+
+// FuzzParse drives Parse with arbitrary strings: it must never panic, and
+// whenever it accepts an input, the canonical rendering must round-trip —
+// Parse(p.String()) == p — because String is the notation experiments and
+// traces are keyed by.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1/23/4",      // the paper's compact digit notation
+		"123",         // one block
+		"1/2/3",       // all singletons
+		"1,2/3",       // comma notation
+		"1,10/2,3,11", // comma notation forced by elements > 9
+		"12/34/56789",
+		"1",
+		"2/1",       // blocks out of min-element order
+		"1/1",       // duplicate element
+		"1/3",       // gap: element 2 missing
+		"",          // empty input
+		"//",        // empty blocks
+		"1/",        // trailing separator
+		"a/b",       // non-digits
+		"1,x/2",     // bad comma token
+		"0/1",       // element below range
+		"1,0",       // zero via comma path
+		"-1,2",      // negative via comma path
+		"999999999", // huge element (digit path splits; comma path must cap)
+		"1,999999999",
+		" 1 , 2 / 3 ", // whitespace tolerance of the comma path
+		"1/2,3/4/5,6,7/8/9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if p.N() < 1 {
+			t.Fatalf("Parse(%q) accepted an empty ground set", s)
+		}
+		rendered := p.String()
+		rt, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v, but re-parsing its rendering %q failed: %v", s, p, rendered, err)
+		}
+		if !rt.Equal(p) {
+			t.Fatalf("round trip broke: Parse(%q) = %v, Parse(%q) = %v", s, p, rendered, rt)
+		}
+		if rt.String() != rendered {
+			t.Fatalf("rendering unstable: %q vs %q", rendered, rt.String())
+		}
+	})
+}

@@ -95,9 +95,15 @@ func MustFromBlocks(n int, blocks [][]int) Partition {
 	return p
 }
 
+// MaxParseElement bounds the element values Parse accepts: a ground set is
+// sized by its largest element, so an unbounded value would let a short
+// hostile string (e.g. "999999999") demand a gigabyte allocation.
+const MaxParseElement = 1 << 16
+
 // Parse reads the paper's compact notation: blocks separated by "/",
 // elements either run together as single digits ("1/23/4") or separated by
-// commas ("1/2,3/4" — required when any element exceeds 9).
+// commas ("1/2,3/4" — required when any element exceeds 9). Elements must
+// lie in [1, MaxParseElement].
 func Parse(s string) (Partition, error) {
 	var blocks [][]int
 	maxE := 0
@@ -112,6 +118,9 @@ func Parse(s string) (Partition, error) {
 				e, err := strconv.Atoi(strings.TrimSpace(tok))
 				if err != nil {
 					return Partition{}, fmt.Errorf("partition: bad element %q in %q", tok, s)
+				}
+				if e < 1 || e > MaxParseElement {
+					return Partition{}, fmt.Errorf("partition: element %d outside [1,%d] in %q", e, MaxParseElement, s)
 				}
 				blk = append(blk, e)
 			}
