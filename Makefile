@@ -43,20 +43,26 @@ bench-smoke:
 # numbers worth comparing across commits.
 BENCHTIME ?= 1x
 
-# bench-json runs the Gram-engine and parallel-search suites and captures
-# ns/op + allocs/op per benchmark in BENCH_gram.json, so the perf
-# trajectory is tracked from PR 2 onward (CI uploads it as an artifact).
-# The bench output lands in a temp file first so a benchmark failure fails
-# the target instead of being masked by the final pipe stage, and the
-# committed snapshot is only touched on success. Deliberately not part of
-# `ci`: it would overwrite the committed BENCH_gram.json snapshot with
-# single-iteration noise on every local run (CI runs it as its own step).
+# bench-json runs the Gram-engine, parallel-search, and candidate-scoring
+# suites and captures ns/op + allocs/op per benchmark in BENCH_gram.json,
+# so the perf trajectory is tracked from PR 2 onward (CI uploads it as an
+# artifact). Before the snapshot is replaced, cmd/benchjson diffs the fresh
+# numbers against the committed baseline and warn-annotates any benchmark
+# whose ns/op or allocs/op regressed by more than 20% (warnings only —
+# 1x captures are noisy). The bench output lands in a temp file first so a
+# benchmark failure fails the target instead of being masked by the final
+# pipe stage, and the new JSON lands in a temp file so the baseline is
+# still readable during the comparison and is only touched on success.
+# Deliberately not part of `ci`: it would overwrite the committed
+# BENCH_gram.json snapshot with single-iteration noise on every local run
+# (CI runs it as its own step).
 bench-json:
 	@out=$$(mktemp); \
-	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
+	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_|BenchmarkScore_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
-	$(GO) run ./cmd/benchjson < $$out > BENCH_gram.json && rm -f $$out
+	$(GO) run ./cmd/benchjson -baseline BENCH_gram.json -threshold 0.20 < $$out > BENCH_gram.json.tmp \
+		&& mv BENCH_gram.json.tmp BENCH_gram.json && rm -f $$out
 	@echo "wrote BENCH_gram.json"
 
 ci: build lint test race bench-smoke

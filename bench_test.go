@@ -429,6 +429,75 @@ func BenchmarkGram_ChainSearch_VectorSeq(b *testing.B) { benchGramSearch(b, 1, f
 func BenchmarkGram_ChainSearch_ScalarW4(b *testing.B)  { benchGramSearch(b, 4, true) }
 func BenchmarkGram_ChainSearch_VectorW4(b *testing.B)  { benchGramSearch(b, 4, false) }
 
+// --- candidate-evaluation fast path (zero-alloc CV pipeline) ---
+//
+// BenchmarkScore_* measures one steady-state candidate evaluation — the
+// unit of work the lattice search repeats per lattice point: Gram assembly
+// from the block cache plus the objective (k-fold CV or centered
+// alignment). The *_Reference variants force the scalar reference path
+// (per-element fold gathers, allocating trainers) by hiding the trainer's
+// ScratchTrainer implementation, so the committed BENCH_gram.json carries
+// the fast-vs-reference delta. The score cache is cleared inside the loop
+// so every iteration pays a full evaluation from warmed scratch.
+
+// plainTrainer hides a trainer's ScratchTrainer implementation, pinning the
+// evaluator to the reference CV loop.
+type plainTrainer struct{ kernelmachine.Trainer }
+
+func benchScore(b *testing.B, cfg mkl.Config) {
+	d := parallelBenchData(b)
+	e, err := mkl.NewEvaluator(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := d.ViewPartition()
+	// Warm the Gram-block cache and every scratch buffer.
+	want, err := e.Score(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ClearScoreCache()
+		s, err := e.Score(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s != want {
+			b.Fatalf("score drifted across iterations: %v != %v", s, want)
+		}
+	}
+}
+
+func BenchmarkScore_CVRidge(b *testing.B) {
+	benchScore(b, mkl.Config{Objective: mkl.CVAccuracy, Seed: 1})
+}
+
+func BenchmarkScore_CVRidge_Reference(b *testing.B) {
+	benchScore(b, mkl.Config{
+		Objective: mkl.CVAccuracy, Seed: 1,
+		Trainer: plainTrainer{kernelmachine.Ridge{}},
+	})
+}
+
+func BenchmarkScore_CVSMO(b *testing.B) {
+	benchScore(b, mkl.Config{
+		Objective: mkl.CVAccuracy, Seed: 1,
+		Trainer: kernelmachine.SVM{C: 1, Seed: 1},
+	})
+}
+
+func BenchmarkScore_CVSMO_Reference(b *testing.B) {
+	benchScore(b, mkl.Config{
+		Objective: mkl.CVAccuracy, Seed: 1,
+		Trainer: plainTrainer{kernelmachine.SVM{C: 1, Seed: 1}},
+	})
+}
+
+func BenchmarkScore_Alignment(b *testing.B) {
+	benchScore(b, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1})
+}
+
 func benchCatalogue(b *testing.B, workers int) {
 	// Mirror cmd/iotml's `run all`: the catalogue level gets the whole
 	// budget and rows inside each experiment run sequentially, so the

@@ -3,14 +3,23 @@
 // (BENCH_gram.json) and the perf trajectory of the Gram engine is tracked
 // across PRs instead of living in log scrollback.
 //
+// With -baseline, the freshly parsed results are additionally compared
+// against a committed snapshot and every benchmark whose ns/op or allocs/op
+// regressed by more than -threshold is reported on stderr as a GitHub
+// Actions warning annotation (plain text off CI). Regressions warn, they do
+// not fail: single-iteration CI captures are noisy, so the annotation flags
+// the delta for a human instead of blocking the run.
+//
 // Usage:
 //
-//	go test -bench='^(BenchmarkGram_|BenchmarkParallel_)' -benchmem -run='^$' . | go run ./cmd/benchjson
+//	go test -bench='^(BenchmarkGram_|BenchmarkParallel_|BenchmarkScore_)' -benchmem -run='^$' . | \
+//	  go run ./cmd/benchjson -baseline BENCH_gram.json -threshold 0.20
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -18,6 +27,10 @@ import (
 )
 
 func main() {
+	baseline := flag.String("baseline", "", "committed benchmark JSON to diff against (warn-only)")
+	threshold := flag.Float64("threshold", 0.20, "relative regression that triggers a warning (0.20 = +20%)")
+	flag.Parse()
+
 	report, err := benchparse.Parse(bufio.NewReader(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -27,10 +40,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		warnRegressions(*baseline, report, *threshold)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// warnRegressions diffs report against the baseline file and prints one
+// warning per regressed metric. A missing or unreadable baseline is itself
+// only a warning: the first run of a new bench suite has no baseline yet.
+func warnRegressions(path string, report *benchparse.Report, threshold float64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: skipping regression check: %v\n", err)
+		return
+	}
+	var base benchparse.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: skipping regression check: bad baseline %s: %v\n", path, err)
+		return
+	}
+	deltas := benchparse.Regressions(&base, report, threshold)
+	// ::warning:: makes the line a GitHub Actions annotation; elsewhere it
+	// is just a greppable prefix.
+	for _, d := range deltas {
+		ratio := fmt.Sprintf("%.2fx, threshold %.2fx", d.Ratio, 1+threshold)
+		if d.Old == 0 {
+			ratio = "was zero-alloc"
+		}
+		fmt.Fprintf(os.Stderr, "::warning title=benchmark regression::%s %s %.0f -> %.0f (%s)\n",
+			d.Name, d.Metric, d.Old, d.New, ratio)
+	}
+	if len(deltas) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions > %+.0f%% vs %s (%d benchmarks compared)\n",
+			threshold*100, path, len(report.Benchmarks))
 	}
 }

@@ -64,6 +64,58 @@ func Parse(r io.Reader) (*Report, error) {
 	return report, nil
 }
 
+// Delta is one metric of one benchmark that regressed against a baseline
+// report.
+type Delta struct {
+	// Name is the full benchmark name (including the -GOMAXPROCS suffix).
+	Name string `json:"name"`
+	// Metric is "ns/op" or "allocs/op".
+	Metric string `json:"metric"`
+	// Old and New are the baseline and current values.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// Ratio is New/Old (> 1 for a reported regression), or 0 when the
+	// baseline was zero and any growth is reported.
+	Ratio float64 `json:"ratio"`
+}
+
+// Regressions compares cur against base and returns one Delta per
+// (benchmark, metric) whose current value exceeds the baseline by more than
+// threshold (0.20 = +20%), for ns/op and allocs/op. A zero allocs/op
+// baseline — the steady state the fast paths aim for — reports any growth
+// at all (a relative threshold would never fire on it). Benchmarks present
+// in only one report are skipped — renamed or new benchmarks are not
+// regressions — as are metrics absent from either side. Order follows
+// cur's benchmark order (ns/op before allocs/op per benchmark), so output
+// is deterministic.
+func Regressions(base, cur *Report, threshold float64) []Delta {
+	old := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	var out []Delta
+	for _, b := range cur.Benchmarks {
+		o, ok := old[b.Name]
+		if !ok {
+			continue
+		}
+		if o.NsPerOp > 0 && b.NsPerOp > o.NsPerOp*(1+threshold) {
+			out = append(out, Delta{Name: b.Name, Metric: "ns/op", Old: o.NsPerOp, New: b.NsPerOp, Ratio: b.NsPerOp / o.NsPerOp})
+		}
+		if o.AllocsPerOp == nil || b.AllocsPerOp == nil {
+			continue
+		}
+		oa, ba := *o.AllocsPerOp, *b.AllocsPerOp
+		switch {
+		case oa > 0 && ba > oa*(1+threshold):
+			out = append(out, Delta{Name: b.Name, Metric: "allocs/op", Old: oa, New: ba, Ratio: ba / oa})
+		case oa == 0 && ba > 0:
+			out = append(out, Delta{Name: b.Name, Metric: "allocs/op", Old: 0, New: ba})
+		}
+	}
+	return out
+}
+
 // parseLine parses one "BenchmarkName-8  163  7840653 ns/op  6116528 B/op
 // 160802 allocs/op" line. Value/unit pairs after the iteration count are
 // positional: a float value followed by its unit token.

@@ -64,3 +64,51 @@ func TestParseEmpty(t *testing.T) {
 		t.Fatalf("benchmarks = %+v", r.Benchmarks)
 	}
 }
+
+func f64(v float64) *float64 { return &v }
+
+func TestRegressions(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: f64(100)},
+		{Name: "BenchmarkB-8", NsPerOp: 1000, AllocsPerOp: f64(100)},
+		{Name: "BenchmarkGone-8", NsPerOp: 50},
+		{Name: "BenchmarkZero-8", NsPerOp: 0, AllocsPerOp: f64(0)},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		// ns/op regressed 1.5x, allocs improved.
+		{Name: "BenchmarkA-8", NsPerOp: 1500, AllocsPerOp: f64(10)},
+		// ns/op within threshold, allocs regressed 2x.
+		{Name: "BenchmarkB-8", NsPerOp: 1100, AllocsPerOp: f64(200)},
+		// New benchmark: no baseline, never a regression.
+		{Name: "BenchmarkNew-8", NsPerOp: 999999},
+		// Zero ns/op baseline is skipped (no meaningful ratio), but any
+		// alloc growth from a zero-alloc baseline is a regression.
+		{Name: "BenchmarkZero-8", NsPerOp: 10, AllocsPerOp: f64(10)},
+	}}
+	got := Regressions(base, cur, 0.20)
+	if len(got) != 3 {
+		t.Fatalf("got %d deltas (%+v), want 3", len(got), got)
+	}
+	if got[0].Name != "BenchmarkA-8" || got[0].Metric != "ns/op" || got[0].Ratio != 1.5 {
+		t.Errorf("delta[0] = %+v", got[0])
+	}
+	if got[1].Name != "BenchmarkB-8" || got[1].Metric != "allocs/op" || got[1].Ratio != 2 {
+		t.Errorf("delta[1] = %+v", got[1])
+	}
+	if got[2].Name != "BenchmarkZero-8" || got[2].Metric != "allocs/op" || got[2].Old != 0 || got[2].New != 10 {
+		t.Errorf("delta[2] = %+v", got[2])
+	}
+}
+
+func TestRegressionsAtThresholdBoundary(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA-8", NsPerOp: 1000}}}
+	cur := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA-8", NsPerOp: 1200}}}
+	// Exactly +20% is not "more than" the threshold.
+	if got := Regressions(base, cur, 0.20); len(got) != 0 {
+		t.Fatalf("boundary case reported: %+v", got)
+	}
+	cur.Benchmarks[0].NsPerOp = 1201
+	if got := Regressions(base, cur, 0.20); len(got) != 1 {
+		t.Fatalf("just past boundary not reported: %+v", got)
+	}
+}

@@ -117,9 +117,17 @@ func blockKey(feats []int) string {
 // vectorized path over the cached contiguous column block (unless SetExact
 // forced the pairwise path); everything else falls back to per-pair Eval.
 func (c *BlockGramCache) BlockGram(feats []int) *linalg.Matrix {
-	key := blockKey(feats)
+	return c.blockGram([]byte(blockKey(feats)), feats)
+}
+
+// blockGram is BlockGram keyed by a caller-owned byte fingerprint: the
+// cache-hit lookup converts key with the compiler's no-alloc map[string]
+// byte-slice lookup, so the hot path (every block of every candidate in a
+// lattice search hits after its first evaluation) allocates nothing; the
+// key string is materialized only when a newly computed block is stored.
+func (c *BlockGramCache) blockGram(key []byte, feats []int) *linalg.Matrix {
 	c.mu.RLock()
-	g, ok := c.m[key]
+	g, ok := c.m[string(key)]
 	exact := c.exact
 	c.mu.RUnlock()
 	if ok {
@@ -127,6 +135,9 @@ func (c *BlockGramCache) BlockGram(feats []int) *linalg.Matrix {
 	}
 	// Compute outside the lock: two workers may race on the same block and
 	// both compute it, but the result is identical and the first store wins.
+	// feats may be a caller-reused scratch buffer and factories retain their
+	// feature slice, so the (cold) compute path works on a private copy.
+	feats = append([]int(nil), feats...)
 	base := c.factory(feats)
 	if !exact {
 		if bg, ok := base.(BlockGramKernel); ok {
@@ -140,13 +151,24 @@ func (c *BlockGramCache) BlockGram(feats []int) *linalg.Matrix {
 		g = GramPairwise(Subspace{Base: base, Features: feats}, c.x)
 	}
 	c.mu.Lock()
-	if prev, ok := c.m[key]; ok {
+	if prev, ok := c.m[string(key)]; ok {
 		g = prev
 	} else if len(c.m) < c.limit {
-		c.m[key] = g
+		c.m[string(key)] = g
 	}
 	c.mu.Unlock()
 	return g
+}
+
+// AssemblyScratch holds the reusable per-caller buffers of
+// GramForPartitionScratch (feature lists, block keys, and the gathered
+// per-block Gram pointers). The zero value is ready; a scratch belongs to
+// one goroutine — each worker evaluator of a parallel search owns its own
+// while sharing the concurrency-safe cache.
+type AssemblyScratch struct {
+	feats  []int
+	keyBuf []byte
+	grams  []*linalg.Matrix
 }
 
 // GramForPartition assembles the full Gram matrix of the multiple-kernel
@@ -159,19 +181,40 @@ func (c *BlockGramCache) BlockGram(feats []int) *linalg.Matrix {
 // search scoring through the cache returns the exact floating-point scores
 // of the uncached path.
 func (c *BlockGramCache) GramForPartition(p partition.Partition, combiner Combiner, out *linalg.Matrix) *linalg.Matrix {
+	var sc AssemblyScratch
+	return c.GramForPartitionScratch(p, combiner, out, &sc)
+}
+
+// GramForPartitionScratch is GramForPartition with caller-owned scratch:
+// once every block of p is cached, assembling a candidate's Gram performs
+// no allocation at all (block features are re-derived into the scratch
+// buffers by an RGS scan that reproduces partition.Blocks() order — block
+// index ascending, elements ascending — and cache lookups use byte-slice
+// keys). It is the per-candidate path of the mkl evaluators.
+func (c *BlockGramCache) GramForPartitionScratch(p partition.Partition, combiner Combiner, out *linalg.Matrix, sc *AssemblyScratch) *linalg.Matrix {
 	n := len(c.x)
 	if out == nil || out.Rows != n || out.Cols != n {
 		out = linalg.NewMatrix(n, n)
 	}
-	blocks := p.Blocks()
-	grams := make([]*linalg.Matrix, len(blocks))
-	for i, blk := range blocks {
-		feats := make([]int, len(blk))
-		for j, f := range blk {
-			feats[j] = f - 1
+	d := p.N()
+	sc.grams = sc.grams[:0]
+	for b := 0; b < p.NumBlocks(); b++ {
+		sc.feats = sc.feats[:0]
+		for e := 1; e <= d; e++ {
+			if p.BlockOf(e) == b {
+				sc.feats = append(sc.feats, e-1)
+			}
 		}
-		grams[i] = c.BlockGram(feats)
+		sc.keyBuf = sc.keyBuf[:0]
+		for i, f := range sc.feats {
+			if i > 0 {
+				sc.keyBuf = append(sc.keyBuf, ',')
+			}
+			sc.keyBuf = strconv.AppendInt(sc.keyBuf, int64(f), 10)
+		}
+		sc.grams = append(sc.grams, c.blockGram(sc.keyBuf, sc.feats))
 	}
+	grams := sc.grams
 	if combiner == CombineProduct {
 		for i := 0; i < n*n; i++ {
 			acc := 1.0

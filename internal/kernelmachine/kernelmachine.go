@@ -9,7 +9,6 @@ package kernelmachine
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/linalg"
 )
@@ -29,15 +28,25 @@ type Trainer interface {
 
 // Classify converts scores to ±1 labels (score 0 goes to +1).
 func Classify(scores []float64) []int {
-	out := make([]int, len(scores))
+	return ClassifyInto(nil, scores)
+}
+
+// ClassifyInto converts scores to ±1 labels into dst (reused when its
+// capacity suffices, reallocated otherwise) and returns it — the
+// allocation-free Classify for hot evaluation loops.
+func ClassifyInto(dst []int, scores []float64) []int {
+	if cap(dst) < len(scores) {
+		dst = make([]int, len(scores))
+	}
+	dst = dst[:len(scores)]
 	for i, s := range scores {
 		if s >= 0 {
-			out[i] = 1
+			dst[i] = 1
 		} else {
-			out[i] = -1
+			dst[i] = -1
 		}
 	}
-	return out
+	return dst
 }
 
 func validate(gram *linalg.Matrix, y []int) error {
@@ -66,15 +75,34 @@ type dualModel struct {
 
 // Scores implements Model.
 func (m *dualModel) Scores(cross *linalg.Matrix) []float64 {
-	out := make([]float64, cross.Rows)
+	return m.ScoresInto(nil, cross)
+}
+
+// ScoresInto implements ScratchModel: decision scores for the rows of cross
+// written into dst (reused when its capacity suffices). Scoring is one
+// matrix-vector product over the row-major cross-Gram (linalg.MulVecInto)
+// when the bias is zero and the shapes agree exactly; otherwise each row
+// accumulates from b over the first len(coeff) columns in the same
+// left-to-right order (some callers, e.g. co-training, score against a
+// cross-Gram with trailing extra columns). Both routes are bit-identical to
+// the historical per-element loop.
+func (m *dualModel) ScoresInto(dst []float64, cross *linalg.Matrix) []float64 {
+	if m.b == 0 && cross.Cols == len(m.coeff) {
+		return linalg.MulVecInto(dst, cross, m.coeff)
+	}
+	if cap(dst) < cross.Rows {
+		dst = make([]float64, cross.Rows)
+	}
+	dst = dst[:cross.Rows]
 	for i := 0; i < cross.Rows; i++ {
 		s := m.b
+		row := cross.Data[i*cross.Cols : i*cross.Cols+len(m.coeff)]
 		for j, c := range m.coeff {
-			s += c * cross.At(i, j)
+			s += c * row[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Coefficients returns a copy of the dual coefficients (alpha_i y_i).
@@ -103,108 +131,13 @@ func (s SVM) c() float64 {
 	return s.C
 }
 
-// Train implements Trainer.
+// Train implements Trainer. It runs the same error-cache SMO as
+// TrainScratch on a private Scratch the returned model takes ownership of,
+// so the two entry points are bit-identical by construction; callers on hot
+// paths pass their own Scratch to TrainScratch to skip the per-call buffer
+// allocations.
 func (s SVM) Train(gram *linalg.Matrix, y []int) (Model, error) {
-	if err := validate(gram, y); err != nil {
-		return nil, err
-	}
-	n := len(y)
-	c := s.c()
-	tol := s.Tol
-	if tol <= 0 {
-		tol = 1e-3
-	}
-	maxPasses := s.MaxPasses
-	if maxPasses <= 0 {
-		maxPasses = 5
-	}
-	maxIter := s.MaxIter
-	if maxIter <= 0 {
-		maxIter = 200
-	}
-	rng := rand.New(rand.NewSource(s.Seed + 1))
-
-	alpha := make([]float64, n)
-	b := 0.0
-	fy := make([]float64, n)
-	for i, v := range y {
-		fy[i] = float64(v)
-	}
-	score := func(i int) float64 {
-		sum := b
-		for j := 0; j < n; j++ {
-			if alpha[j] != 0 {
-				sum += alpha[j] * fy[j] * gram.At(j, i)
-			}
-		}
-		return sum
-	}
-
-	passes, iter := 0, 0
-	for passes < maxPasses && iter < maxIter {
-		changed := 0
-		for i := 0; i < n; i++ {
-			ei := score(i) - fy[i]
-			if !((fy[i]*ei < -tol && alpha[i] < c) || (fy[i]*ei > tol && alpha[i] > 0)) {
-				continue
-			}
-			j := rng.Intn(n - 1)
-			if j >= i {
-				j++
-			}
-			ej := score(j) - fy[j]
-			ai, aj := alpha[i], alpha[j]
-			var lo, hi float64
-			if y[i] != y[j] {
-				lo = maxf(0, aj-ai)
-				hi = minf(c, c+aj-ai)
-			} else {
-				lo = maxf(0, ai+aj-c)
-				hi = minf(c, ai+aj)
-			}
-			if hi-lo < 1e-12 {
-				continue
-			}
-			eta := 2*gram.At(i, j) - gram.At(i, i) - gram.At(j, j)
-			if eta >= 0 {
-				continue
-			}
-			ajNew := aj - fy[j]*(ei-ej)/eta
-			if ajNew > hi {
-				ajNew = hi
-			} else if ajNew < lo {
-				ajNew = lo
-			}
-			if absf(ajNew-aj) < 1e-7 {
-				continue
-			}
-			aiNew := ai + fy[i]*fy[j]*(aj-ajNew)
-			b1 := b - ei - fy[i]*(aiNew-ai)*gram.At(i, i) - fy[j]*(ajNew-aj)*gram.At(i, j)
-			b2 := b - ej - fy[i]*(aiNew-ai)*gram.At(i, j) - fy[j]*(ajNew-aj)*gram.At(j, j)
-			switch {
-			case aiNew > 0 && aiNew < c:
-				b = b1
-			case ajNew > 0 && ajNew < c:
-				b = b2
-			default:
-				b = (b1 + b2) / 2
-			}
-			alpha[i], alpha[j] = aiNew, ajNew
-			changed++
-		}
-		if changed == 0 {
-			passes++
-		} else {
-			passes = 0
-		}
-		iter++
-	}
-
-	coeff := make([]float64, n)
-	for i := range coeff {
-		coeff[i] = alpha[i] * fy[i]
-	}
-	return &dualModel{coeff: coeff, b: b}, nil
+	return s.TrainScratch(gram, y, &Scratch{})
 }
 
 // Ridge trains kernel ridge classification: solve (K + λI) α = y and score

@@ -1,0 +1,234 @@
+// Scratch-aware training: the allocation-free fast path for hot evaluation
+// loops (one k-fold CV per lattice-search candidate trains k models on
+// similarly-sized Grams, thousands of times per search).
+//
+// Scratch ownership rules:
+//
+//   - A Scratch belongs to exactly one goroutine; trainers never retain it
+//     beyond the TrainScratch call.
+//   - The returned Model aliases the Scratch's buffers. It is valid until
+//     the next TrainScratch call with the same Scratch — consume (score)
+//     each model before training the next, or use distinct Scratches.
+//   - The gram matrix passed to TrainScratch is read-only: TrainScratch
+//     never writes to it (regularization is applied to a scratch copy).
+//
+// Exactness contract: Ridge.TrainScratch performs the same floating-point
+// operations as Ridge.Train (in-place K+λI assembly + CholeskyInto /
+// SolveCholeskyInto are bit-identical to Clone + SolveSPD), so its models
+// score bit-identically. SVM.TrainScratch is the single SMO implementation
+// — SVM.Train delegates to it with a private Scratch — so the two entry
+// points are bit-identical by construction, given the same RNG stream.
+package kernelmachine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// ScratchTrainer is implemented by trainers that can fit a model using
+// caller-owned scratch buffers instead of per-call allocations. See the
+// package notes in this file for the ownership and exactness rules.
+type ScratchTrainer interface {
+	Trainer
+	TrainScratch(gram *linalg.Matrix, y []int, s *Scratch) (Model, error)
+}
+
+// ScratchModel is implemented by models that can score into a caller-owned
+// buffer.
+type ScratchModel interface {
+	Model
+	// ScoresInto writes the decision scores for the rows of cross into dst
+	// (reused when its capacity suffices, reallocated otherwise) and
+	// returns it.
+	ScoresInto(dst []float64, cross *linalg.Matrix) []float64
+}
+
+// Scratch holds the reusable buffers of scratch-aware trainers. The zero
+// value is ready to use; buffers grow to the largest training set seen and
+// are retained across calls (capacity-based reuse, so alternating fold
+// sizes n/k and n/k+1 settle on one allocation).
+type Scratch struct {
+	kreg  *linalg.Matrix // K + λI assembly (ridge)
+	chol  *linalg.Matrix // Cholesky factor (ridge)
+	v1    []float64      // rhs (ridge) / alpha (svm)
+	v2    []float64      // alpha (ridge) / fy (svm)
+	v3    []float64      // error cache E_i (svm)
+	v4    []float64      // dual coefficients (svm)
+	model dualModel
+}
+
+// vec returns buf resized to n, reusing capacity. Contents are unspecified.
+func vec(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// finish points the Scratch's reusable model at the given coefficients.
+func (s *Scratch) finish(coeff []float64, b float64) Model {
+	s.model.coeff = coeff
+	s.model.b = b
+	return &s.model
+}
+
+// TrainScratch implements ScratchTrainer: Ridge.Train with every allocation
+// replaced by Scratch reuse. The regularized system is assembled by copying
+// gram into scratch and bumping the diagonal (the same values Clone +
+// AddScaledDiag produces), then factored and solved in place with
+// CholeskyInto and SolveCholeskyInto — bit-identical to SolveSPD, including
+// the heavier-ridge fallback.
+func (r Ridge) TrainScratch(gram *linalg.Matrix, y []int, s *Scratch) (Model, error) {
+	if err := validate(gram, y); err != nil {
+		return nil, err
+	}
+	n := len(y)
+	s.kreg = linalg.Reshape(s.kreg, n, n)
+	if s.chol == nil {
+		s.chol = linalg.NewMatrix(n, n)
+	}
+	assemble := func(diag float64) {
+		copy(s.kreg.Data, gram.Data)
+		s.kreg.AddScaledDiag(diag)
+	}
+	assemble(r.lambda() * float64(n) / 10)
+	rhs := vec(&s.v1, n)
+	for i, v := range y {
+		rhs[i] = float64(v)
+	}
+	if err := linalg.CholeskyInto(s.chol, s.kreg); err != nil {
+		// Fall back to a heavier ridge before giving up, as Train does.
+		assemble(1 + r.lambda()*float64(n))
+		if err := linalg.CholeskyInto(s.chol, s.kreg); err != nil {
+			return nil, fmt.Errorf("kernelmachine: ridge solve failed: %w", err)
+		}
+	}
+	s.v2 = linalg.SolveCholeskyInto(s.v2, s.chol, rhs)
+	return s.finish(s.v2, 0), nil
+}
+
+// TrainScratch implements ScratchTrainer: simplified SMO with the standard
+// error cache. Where the historical implementation recomputed
+// score(i) = b + Σ_j α_j y_j K(j,i) in O(n) at every examination, the
+// cache keeps every E_i = score(i) − y_i current with one O(n) incremental
+// update per successful pair step — O(n) per change instead of O(n) per
+// examination — streaming the two updated rows of the (symmetric,
+// row-major) Gram matrix instead of walking columns. This is the single
+// SMO implementation; Train wraps it with a private Scratch.
+func (s SVM) TrainScratch(gram *linalg.Matrix, y []int, sc *Scratch) (Model, error) {
+	if err := validate(gram, y); err != nil {
+		return nil, err
+	}
+	n := len(y)
+	c := s.c()
+	tol := s.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 5
+	}
+	maxIter := s.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+
+	alpha := vec(&sc.v1, n)
+	fy := vec(&sc.v2, n)
+	errs := vec(&sc.v3, n)
+	b := 0.0
+	for i, v := range y {
+		alpha[i] = 0
+		fy[i] = float64(v)
+		errs[i] = -fy[i] // score(i) = 0 at α = 0, b = 0
+	}
+
+	passes, iter := 0, 0
+	for passes < maxPasses && iter < maxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := errs[i]
+			if !((fy[i]*ei < -tol && alpha[i] < c) || (fy[i]*ei > tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := errs[j]
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = maxf(0, aj-ai)
+				hi = minf(c, c+aj-ai)
+			} else {
+				lo = maxf(0, ai+aj-c)
+				hi = minf(c, ai+aj)
+			}
+			if hi-lo < 1e-12 {
+				continue
+			}
+			rowI := gram.Data[i*n : (i+1)*n]
+			rowJ := gram.Data[j*n : (j+1)*n]
+			eta := 2*rowI[j] - rowI[i] - rowJ[j]
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - fy[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if absf(ajNew-aj) < 1e-7 {
+				continue
+			}
+			aiNew := ai + fy[i]*fy[j]*(aj-ajNew)
+			b1 := b - ei - fy[i]*(aiNew-ai)*rowI[i] - fy[j]*(ajNew-aj)*rowI[j]
+			b2 := b - ej - fy[i]*(aiNew-ai)*rowI[j] - fy[j]*(ajNew-aj)*rowJ[j]
+			var bNew float64
+			switch {
+			case aiNew > 0 && aiNew < c:
+				bNew = b1
+			case ajNew > 0 && ajNew < c:
+				bNew = b2
+			default:
+				bNew = (b1 + b2) / 2
+			}
+			// Incremental error-cache update: score(k) changes by
+			// Δ(α_i y_i) K(i,k) + Δ(α_j y_j) K(j,k) + Δb.
+			dai := (aiNew - ai) * fy[i]
+			daj := (ajNew - aj) * fy[j]
+			db := bNew - b
+			for k := 0; k < n; k++ {
+				errs[k] += dai*rowI[k] + daj*rowJ[k] + db
+			}
+			alpha[i], alpha[j] = aiNew, ajNew
+			b = bNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+		iter++
+	}
+
+	coeff := vec(&sc.v4, n)
+	for i := range coeff {
+		coeff[i] = alpha[i] * fy[i]
+	}
+	return sc.finish(coeff, b), nil
+}
+
+var (
+	_ ScratchTrainer = Ridge{}
+	_ ScratchTrainer = SVM{}
+	_ ScratchModel   = (*dualModel)(nil)
+)

@@ -16,11 +16,85 @@ package linalg
 
 import "fmt"
 
-// ensureInto returns dst if it already has shape r×c, else a fresh matrix.
-// Callers overwrite every entry, so stale contents never leak.
-func ensureInto(dst *Matrix, r, c int) *Matrix {
-	if dst == nil || dst.Rows != r || dst.Cols != c {
+// Reshape returns m resized to r×c, reusing m's backing storage whenever its
+// capacity suffices — so hot paths whose working shapes alternate (e.g.
+// CV folds of size n/k and n/k+1) settle on one allocation instead of
+// reallocating every call. A fresh matrix is returned when m is nil or its
+// capacity is short. The contents after a reshape are unspecified; callers
+// must overwrite every entry they read.
+func Reshape(m *Matrix, r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	if m == nil {
 		return NewMatrix(r, c)
+	}
+	if m.Rows == r && m.Cols == c {
+		return m
+	}
+	if cap(m.Data) < r*c {
+		return NewMatrix(r, c)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:r*c]
+	return m
+}
+
+// Run is a maximal contiguous index run [Start, Start+Len) — the gather
+// descriptor GatherInto consumes: one Run is one copy() instead of Len
+// scalar loads.
+type Run struct {
+	Start, Len int
+}
+
+// RunsOf compresses an index list into contiguous ascending runs, preserving
+// order: {4, 5, 6, 2, 9, 10} becomes [{4,3}, {2,1}, {9,2}]. Computed once
+// per index set (e.g. per CV fold) and replayed on every gather.
+func RunsOf(idx []int) []Run {
+	if len(idx) == 0 {
+		return nil
+	}
+	runs := make([]Run, 0, len(idx))
+	cur := Run{Start: idx[0], Len: 1}
+	for _, v := range idx[1:] {
+		if v == cur.Start+cur.Len {
+			cur.Len++
+			continue
+		}
+		runs = append(runs, cur)
+		cur = Run{Start: v, Len: 1}
+	}
+	return append(runs, cur)
+}
+
+// GatherInto extracts the submatrix src[rows[i]][cols...] into dst
+// (reshaped via Reshape, so scratch is retained across gathers of
+// alternating shapes) and returns it. The column selection is described by
+// contiguous runs (see RunsOf), so each run of each row is a single copy()
+// over the row-major backing array instead of per-element At/Set — the fold
+// sub- and cross-Gram extraction of the CV fast path. Values are read and
+// written verbatim: the gathered entries are bit-identical to a scalar
+// gather of the same indices.
+func GatherInto(dst, src *Matrix, rows []int, cols []Run) *Matrix {
+	nc := 0
+	for _, r := range cols {
+		nc += r.Len
+	}
+	dst = Reshape(dst, len(rows), nc)
+	for i, r := range rows {
+		srcRow := src.Data[r*src.Cols : (r+1)*src.Cols]
+		dstRow := dst.Data[i*nc : (i+1)*nc]
+		pos := 0
+		for _, run := range cols {
+			if run.Len == 1 {
+				// Shuffled index sets compress mostly to singleton runs;
+				// a direct store skips the memmove call overhead.
+				dstRow[pos] = srcRow[run.Start]
+				pos++
+				continue
+			}
+			copy(dstRow[pos:pos+run.Len], srcRow[run.Start:run.Start+run.Len])
+			pos += run.Len
+		}
 	}
 	return dst
 }
@@ -31,7 +105,7 @@ func ensureInto(dst *Matrix, r, c int) *Matrix {
 // matching the symmetric fill of a pairwise Gram loop.
 func SyrkInto(dst, x *Matrix) *Matrix {
 	n, d := x.Rows, x.Cols
-	dst = ensureInto(dst, n, n)
+	dst = Reshape(dst, n, n)
 	for i := 0; i < n; i++ {
 		ri := x.Data[i*d : (i+1)*d]
 		for j := i; j < n; j++ {
@@ -55,7 +129,7 @@ func GemmNTInto(dst, a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("linalg: GemmNT inner dimension mismatch %d vs %d", a.Cols, b.Cols))
 	}
 	d := a.Cols
-	dst = ensureInto(dst, a.Rows, b.Rows)
+	dst = Reshape(dst, a.Rows, b.Rows)
 	for i := 0; i < a.Rows; i++ {
 		ri := a.Data[i*d : (i+1)*d]
 		for j := 0; j < b.Rows; j++ {

@@ -163,14 +163,25 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns m * v.
 func (m *Matrix) MulVec(v Vector) Vector {
+	return MulVecInto(nil, m, v)
+}
+
+// MulVecInto computes m * v into dst, reusing dst's capacity when it
+// suffices (a fresh vector is allocated only when it is short), and returns
+// the length-m.Rows result. Each entry accumulates the row dot product
+// left-to-right, bit-identical to MulVec.
+func MulVecInto(dst Vector, m *Matrix, v Vector) Vector {
 	if m.Cols != len(v) {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch (%dx%d)*%d", m.Rows, m.Cols, len(v)))
 	}
-	out := NewVector(m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(v)
+	if cap(dst) < m.Rows {
+		dst = NewVector(m.Rows)
 	}
-	return out
+	dst = dst[:m.Rows]
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(v)
+	}
+	return dst
 }
 
 // AddScaledDiag adds a to every diagonal entry in place (ridge/jitter).
@@ -188,52 +199,91 @@ func (m *Matrix) AddScaledDiag(a float64) {
 // symmetric positive-definite matrix. It returns ErrSingular if a pivot
 // falls below tolerance.
 func Cholesky(a *Matrix) (*Matrix, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
-	}
-	n := a.Rows
-	l := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			d -= l.At(j, k) * l.At(j, k)
-		}
-		if d <= 1e-14 {
-			return nil, ErrSingular
-		}
-		l.Set(j, j, math.Sqrt(d))
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/l.At(j, j))
-		}
+	l := NewMatrix(a.Rows, a.Cols)
+	if err := CholeskyInto(l, a); err != nil {
+		return nil, err
 	}
 	return l, nil
+}
+
+// CholeskyInto factors A = L Lᵀ into the caller-owned matrix l (non-nil),
+// which is resized via Reshape (so hot paths reuse one factor buffer across
+// many solves of alternating sizes). The written factor — lower triangle,
+// diagonal, and zeroed strict upper triangle — is bit-identical to the
+// matrix Cholesky returns. l must not alias a. It returns ErrSingular if a
+// pivot falls below tolerance; l's contents are unspecified after an error.
+func CholeskyInto(l, a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	*l = *Reshape(l, n, n)
+	// Row-slice accesses replace At/Set index arithmetic in the inner
+	// loops; the subtraction order over k is unchanged, so the factor is
+	// bit-identical to the historical element-wise formulation.
+	for j := 0; j < n; j++ {
+		rowJ := l.Data[j*n : (j+1)*n]
+		d := a.Data[j*n+j]
+		for _, v := range rowJ[:j] {
+			d -= v * v
+		}
+		if d <= 1e-14 {
+			return ErrSingular
+		}
+		rowJ[j] = math.Sqrt(d)
+		piv := rowJ[j]
+		for i := j + 1; i < n; i++ {
+			rowI := l.Data[i*n : (i+1)*n]
+			s := a.Data[i*n+j]
+			for k, v := range rowI[:j] {
+				s -= v * rowJ[k]
+			}
+			rowI[j] = s / piv
+		}
+		// Clear the strict upper triangle of this row so a recycled buffer
+		// carries no stale entries and the factor equals Cholesky's output.
+		for i := j + 1; i < n; i++ {
+			rowJ[i] = 0
+		}
+	}
+	return nil
 }
 
 // SolveCholesky solves A x = b given the Cholesky factor L of A, by forward
 // then backward substitution.
 func SolveCholesky(l *Matrix, b Vector) Vector {
+	return SolveCholeskyInto(nil, l, b)
+}
+
+// SolveCholeskyInto solves A x = b given the Cholesky factor L of A,
+// writing the solution into dst (reused when its capacity suffices,
+// reallocated otherwise) and returning it. The substitutions run in place
+// over one buffer in an order that never reads an overwritten entry, so the
+// result is bit-identical to SolveCholesky. dst must not alias b.
+func SolveCholeskyInto(dst Vector, l *Matrix, b Vector) Vector {
 	n := l.Rows
-	y := NewVector(n)
+	if cap(dst) < n {
+		dst = NewVector(n)
+	}
+	dst = dst[:n]
+	// Forward substitution: dst holds y.
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
+			s -= l.At(i, k) * dst[k]
 		}
-		y[i] = s / l.At(i, i)
+		dst[i] = s / l.At(i, i)
 	}
-	x := NewVector(n)
+	// Backward substitution in place: position i still holds y[i] when it is
+	// read, positions above i already hold x.
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		s := dst[i]
 		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
+			s -= l.At(k, i) * dst[k]
 		}
-		x[i] = s / l.At(i, i)
+		dst[i] = s / l.At(i, i)
 	}
-	return x
+	return dst
 }
 
 // SolveSPD solves A x = b for symmetric positive-definite A via Cholesky.

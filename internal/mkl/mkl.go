@@ -82,13 +82,18 @@ type Config struct {
 	GramCache *kernel.BlockGramCache
 
 	// ExactGram forces every Gram matrix through the scalar pairwise Eval
-	// path, disabling the vectorized block engine. The block path is
+	// path, disabling the vectorized block engine, and pins CV evaluation
+	// to the scalar reference loop (per-element fold gathers, allocating
+	// Trainer.Train) instead of the scratch fast path. The block path is
 	// bit-identical for linear and polynomial kernels and within 1e-9
 	// elementwise for RBF (its distance expansion reorders floating-point
 	// operations — see internal/kernel/blockgram.go), so this knob exists
 	// for strict reproduction runs that must match the scalar path to the
-	// last bit. An injected GramCache is trusted as configured by its
-	// creator (set kernel.BlockGramCache.SetExact yourself).
+	// last bit. The knob governs the evaluation pipeline, not learner
+	// internals: in particular SVM training always uses the error-cache
+	// SMO (kernelmachine.SVM.Train delegates to TrainScratch). An injected
+	// GramCache is trusted as configured by its creator (set
+	// kernel.BlockGramCache.SetExact yourself).
 	ExactGram bool
 }
 
@@ -132,6 +137,29 @@ type Evaluator struct {
 	xm *linalg.Matrix
 	// scratchSub and scratchCross are the reusable CV fold buffers.
 	scratchSub, scratchCross *linalg.Matrix
+	// folds is the CV fold plan plus per-fold label slices, computed once in
+	// NewEvaluator and shared read-only across the scratch evaluators of a
+	// parallel search (every candidate uses the identical split).
+	folds *foldData
+	// kmScratch, scoreBuf, and predBuf are the per-evaluator learner and
+	// prediction scratch of the CV fast path (lazily created, worker-owned).
+	kmScratch *kernelmachine.Scratch
+	scoreBuf  []float64
+	predBuf   []int
+	// centerBuf is the reusable centering scratch of the KernelAlignment
+	// objective (replacing a per-candidate gram.Clone()).
+	centerBuf *linalg.Matrix
+	// asm is the worker-owned Gram-assembly scratch feeding
+	// kernel.BlockGramCache.GramForPartitionScratch.
+	asm kernel.AssemblyScratch
+}
+
+// foldData bundles the precomputed CV split with the per-fold label slices
+// every candidate evaluation shares. Immutable after NewEvaluator.
+type foldData struct {
+	plan   *stats.FoldPlan
+	yTrain [][]int
+	yTest  [][]int
 }
 
 // NewEvaluator validates the dataset and returns an Evaluator.
@@ -155,6 +183,16 @@ func NewEvaluator(d *dataset.Dataset, cfg Config) (*Evaluator, error) {
 	if e.gramCache == nil && !cfg.ExactGram {
 		e.xm = d.Matrix()
 	}
+	// The CV fold plan is a pure function of (n, folds, seed) and identical
+	// for every candidate, so it is computed once here — stats.NewFoldPlan
+	// consumes the same rng stream KFold(seed+17) consumed historically —
+	// and shared read-only with the scratch evaluators of a parallel search.
+	plan := stats.NewFoldPlan(d.N(), cfg.Folds, stats.NewRNG(cfg.Seed+17))
+	e.folds = &foldData{
+		plan:   plan,
+		yTrain: stats.GatherLabels(d.Y, plan.Trains),
+		yTest:  stats.GatherLabels(d.Y, plan.Tests),
+	}
 	return e, nil
 }
 
@@ -166,7 +204,7 @@ func (e *Evaluator) workers() int { return parsearch.Workers(e.cfg.Parallelism) 
 // cache, but owns its counters and scratch Gram buffers, so concurrent
 // workers never contend on per-candidate allocations.
 func (e *Evaluator) scratchClone(shared *sharedScores) *Evaluator {
-	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, xm: e.xm}
+	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, xm: e.xm, folds: e.folds}
 }
 
 // Evaluations returns the number of kernel configurations actually
@@ -179,6 +217,13 @@ func (e *Evaluator) Calls() int { return e.calls }
 
 // ResetCount zeroes both counters (the cache persists).
 func (e *Evaluator) ResetCount() { e.evals, e.calls = 0, 0 }
+
+// ClearScoreCache drops every memoized partition score (counters, the
+// Gram-block cache, and all scratch buffers persist). Long-lived evaluators
+// re-scoring after label updates — and the BenchmarkScore_* suite, which
+// must pay the full evaluation on every iteration — use this to force
+// cache misses without discarding the evaluator's warmed scratch.
+func (e *Evaluator) ClearScoreCache() { clear(e.cache) }
 
 // Score evaluates the kernel configuration induced by p.
 func (e *Evaluator) Score(p partition.Partition) (float64, error) {
@@ -201,7 +246,7 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 	}
 	var gram *linalg.Matrix
 	if e.gramCache != nil {
-		e.gramBuf = e.gramCache.GramForPartition(p, e.cfg.Combiner, e.gramBuf)
+		e.gramBuf = e.gramCache.GramForPartitionScratch(p, e.cfg.Combiner, e.gramBuf, &e.asm)
 		gram = e.gramBuf
 	} else {
 		k := kernel.FromPartition(p, e.cfg.Factory, e.cfg.Combiner)
@@ -222,9 +267,13 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 	var score float64
 	switch e.cfg.Objective {
 	case KernelAlignment:
-		g := gram.Clone()
-		kernel.Center(g)
-		score = kernel.Alignment(g, e.data.Y)
+		// Center into the evaluator-owned scratch instead of cloning the
+		// Gram per candidate (centering mutates, and gram may be a shared
+		// cache buffer). Same values, same arithmetic, no allocation.
+		e.centerBuf = linalg.Reshape(e.centerBuf, gram.Rows, gram.Cols)
+		copy(e.centerBuf.Data, gram.Data)
+		kernel.Center(e.centerBuf)
+		score = kernel.Alignment(e.centerBuf, e.data.Y)
 	default:
 		s, err := e.cvAccuracy(gram)
 		if err != nil {
@@ -243,27 +292,67 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 	return score, nil
 }
 
-// ensureMatrix returns m if it already has shape r×c, else a fresh matrix.
-// Callers overwrite every entry, so stale contents never leak.
-func ensureMatrix(m *linalg.Matrix, r, c int) *linalg.Matrix {
-	if m == nil || m.Rows != r || m.Cols != c {
-		return linalg.NewMatrix(r, c)
+// cvAccuracy runs k-fold CV re-using one precomputed full Gram matrix.
+// Trainers that implement kernelmachine.ScratchTrainer take the
+// allocation-free fast path: the precomputed fold plan's gather descriptors
+// extract sub- and cross-Grams by row-run copies, labels come from the
+// plan's precomputed slices, and training/scoring run in evaluator-owned
+// scratch. Everything else — and every run with Config.ExactGram, the
+// strict-reproduction knob — takes the scalar reference path below, whose
+// scores the fast path reproduces bit-for-bit (see the equivalence suite in
+// fastpath_test.go).
+func (e *Evaluator) cvAccuracy(gram *linalg.Matrix) (float64, error) {
+	if st, ok := e.cfg.Trainer.(kernelmachine.ScratchTrainer); ok && !e.cfg.ExactGram {
+		return e.cvAccuracyFast(gram, st)
 	}
-	return m
+	return e.cvAccuracyRef(gram)
 }
 
-// cvAccuracy runs k-fold CV re-using one precomputed full Gram matrix. The
-// fold sub- and cross-Gram buffers live on the evaluator and are reused
-// across candidates (trainers clone what they keep, and each fold's model
-// is consumed before the buffers are rewritten).
-func (e *Evaluator) cvAccuracy(gram *linalg.Matrix) (float64, error) {
+// cvAccuracyFast is the zero-allocation CV path. Per candidate it performs
+// no fold-split derivation and no per-fold allocations in steady state: the
+// fold plan, label slices, Gram scratch, learner scratch, and prediction
+// buffers all persist on the evaluator. Each fold's model aliases the
+// learner scratch and is consumed (scored) before the next fold rewrites it,
+// per the kernelmachine scratch-ownership rules.
+func (e *Evaluator) cvAccuracyFast(gram *linalg.Matrix, st kernelmachine.ScratchTrainer) (float64, error) {
+	fd := e.folds
+	if e.kmScratch == nil {
+		e.kmScratch = &kernelmachine.Scratch{}
+	}
+	total := 0.0
+	for f := range fd.plan.Trains {
+		e.scratchSub = linalg.GatherInto(e.scratchSub, gram, fd.plan.Trains[f], fd.plan.TrainRuns[f])
+		model, err := st.TrainScratch(e.scratchSub, fd.yTrain[f], e.kmScratch)
+		if err != nil {
+			return 0, fmt.Errorf("mkl: fold %d: %w", f, err)
+		}
+		e.scratchCross = linalg.GatherInto(e.scratchCross, gram, fd.plan.Tests[f], fd.plan.TrainRuns[f])
+		if sm, ok := model.(kernelmachine.ScratchModel); ok {
+			e.scoreBuf = sm.ScoresInto(e.scoreBuf, e.scratchCross)
+		} else {
+			e.scoreBuf = model.Scores(e.scratchCross)
+		}
+		e.predBuf = kernelmachine.ClassifyInto(e.predBuf, e.scoreBuf)
+		total += stats.Accuracy(e.predBuf, fd.yTest[f])
+	}
+	return total / float64(len(fd.plan.Trains)), nil
+}
+
+// cvAccuracyRef is the scalar reference CV path: per-element fold gathers
+// and the plain Trainer interface. The fold sub- and cross-Gram buffers
+// live on the evaluator and are reused across candidates via
+// linalg.Reshape — capacity-based, so alternating fold shapes (n/k vs
+// n/k+1 when k does not divide n) stop reallocating every fold (trainers
+// clone what they keep, and each fold's model is consumed before the
+// buffers are rewritten).
+func (e *Evaluator) cvAccuracyRef(gram *linalg.Matrix) (float64, error) {
 	n := e.data.N()
 	rng := stats.NewRNG(e.cfg.Seed + 17)
 	trains, tests := stats.KFold(n, e.cfg.Folds, rng)
 	total := 0.0
 	for f := range trains {
 		tr, te := trains[f], tests[f]
-		e.scratchSub = ensureMatrix(e.scratchSub, len(tr), len(tr))
+		e.scratchSub = linalg.Reshape(e.scratchSub, len(tr), len(tr))
 		sub := e.scratchSub
 		for i, a := range tr {
 			for j, b := range tr {
@@ -278,7 +367,7 @@ func (e *Evaluator) cvAccuracy(gram *linalg.Matrix) (float64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("mkl: fold %d: %w", f, err)
 		}
-		e.scratchCross = ensureMatrix(e.scratchCross, len(te), len(tr))
+		e.scratchCross = linalg.Reshape(e.scratchCross, len(te), len(tr))
 		cross := e.scratchCross
 		for i, a := range te {
 			for j, b := range tr {

@@ -112,14 +112,18 @@ func alignmentOrder(e *Evaluator, feats []int) []int {
 
 // singletonAlignment returns the centered kernel-target alignment of the
 // single-feature kernel for 1-based feature f. The singleton block Gram
-// comes from the evaluator's Gram-block cache when one is enabled (cloned
-// before centering, since cached matrices are shared read-only); without a
-// cache it goes through the vectorized path over the dataset's extracted
-// column block, unless ExactGram forces the pairwise loop.
+// comes from the evaluator's Gram-block cache when one is enabled (copied
+// into the evaluator's reusable centering scratch before centering, since
+// cached matrices are shared read-only); without a cache it goes through
+// the vectorized path over the dataset's extracted column block, unless
+// ExactGram forces the pairwise loop.
 func singletonAlignment(e *Evaluator, f int) float64 {
 	var g *linalg.Matrix
 	if e.gramCache != nil {
-		g = e.gramCache.BlockGram([]int{f - 1}).Clone()
+		shared := e.gramCache.BlockGram([]int{f - 1})
+		e.centerBuf = linalg.Reshape(e.centerBuf, shared.Rows, shared.Cols)
+		copy(e.centerBuf.Data, shared.Data)
+		g = e.centerBuf
 	} else {
 		feats := []int{f - 1}
 		base := e.cfg.Factory(feats)
