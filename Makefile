@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt lint test short race bench bench-smoke bench-json ci
+# Pinned staticcheck release, mirrored by the CI build job; bump both
+# together.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: all build vet fmt staticcheck lint test short race bench bench-smoke bench-json serve-smoke ci
 
 all: build
 
@@ -19,6 +23,16 @@ fmt:
 		echo "gofmt needed on:" >&2; \
 		echo "$$unformatted" >&2; \
 		exit 1; \
+	fi
+
+# staticcheck prefers an installed binary (any dev box with one) and falls
+# back to running the pinned release through the module cache — the exact
+# invocation CI uses, so local and CI findings agree.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
 	fi
 
 lint: vet fmt
@@ -38,10 +52,20 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# serve-smoke drives the model lifecycle end to end: fit a tiny model,
+# start `iotml serve`, and assert /healthz plus golden /predict responses
+# (batched == single == committed fixture). Mirrors the CI serve-smoke job.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 # BENCHTIME tunes the machine-readable benchmark run: the 1x default keeps
 # the CI capture step fast; override with e.g. BENCHTIME=1s for stable
-# numbers worth comparing across commits.
+# numbers worth comparing across commits (the nightly workflow does).
+# BENCHJSON_FLAGS passes extra flags to cmd/benchjson: pull-request CI sets
+# -fail-on-regress so baseline regressions block the merge, while
+# push-to-main and local runs stay warn-only.
 BENCHTIME ?= 1x
+BENCHJSON_FLAGS ?=
 
 # bench-json runs the Gram-engine, parallel-search, and candidate-scoring
 # suites and captures ns/op + allocs/op per benchmark in BENCH_gram.json,
@@ -61,8 +85,8 @@ bench-json:
 	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_|BenchmarkScore_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
-	$(GO) run ./cmd/benchjson -baseline BENCH_gram.json -threshold 0.20 < $$out > BENCH_gram.json.tmp \
+	$(GO) run ./cmd/benchjson -baseline BENCH_gram.json -threshold 0.20 $(BENCHJSON_FLAGS) < $$out > BENCH_gram.json.tmp \
 		&& mv BENCH_gram.json.tmp BENCH_gram.json && rm -f $$out
 	@echo "wrote BENCH_gram.json"
 
-ci: build lint test race bench-smoke
+ci: build lint test race bench-smoke serve-smoke

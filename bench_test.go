@@ -16,6 +16,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
 	"repro/internal/mkl"
+	"repro/internal/model"
 	"repro/internal/partition"
 	"repro/internal/stats"
 )
@@ -496,6 +497,54 @@ func BenchmarkScore_CVSMO_Reference(b *testing.B) {
 
 func BenchmarkScore_Alignment(b *testing.B) {
 	benchScore(b, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1})
+}
+
+// BenchmarkScore_ServeBatch measures one steady-state inference batch the
+// serving stack executes per coalesced /predict batch: a 64-row vectorized
+// cross-Gram against the training rows plus one matrix-vector product, in
+// reused predictor scratch (internal/model.Predictor — the engine under
+// internal/serve's worker pool).
+func BenchmarkScore_ServeBatch(b *testing.B) {
+	d := parallelBenchData(b)
+	p := d.ViewPartition()
+	k := kernel.FromPartition(p, kernel.RBFFactory(1.0), kernel.CombineSum)
+	m, err := (kernelmachine.Ridge{}).Train(kernel.Gram(k, d.X), d.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	df := m.(kernelmachine.DualForm)
+	spec, err := kernel.ToSpec(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := &model.Artifact{
+		LearnerKind: model.LearnerRidge,
+		Partition:   p,
+		KernelSpec:  spec,
+		TrainX:      d.Matrix(),
+		Coeff:       df.Coefficients(),
+		Bias:        df.Bias(),
+	}
+	pred, err := model.NewPredictor(art)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := d.X[:64]
+	var scores []float64
+	if scores, err = pred.ScoresInto(scores, batch); err != nil {
+		b.Fatal(err) // warm the scratch before timing
+	}
+	want := scores[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores, err = pred.ScoresInto(scores, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if scores[0] != want {
+			b.Fatalf("score drifted across iterations: %v != %v", scores[0], want)
+		}
+	}
 }
 
 func benchCatalogue(b *testing.B, workers int) {

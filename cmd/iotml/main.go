@@ -9,6 +9,9 @@
 //	iotml table1                           print Table I (alias for run E1)
 //	iotml figure2 [--dot]                  print Figure 2 (or its DOT rendering)
 //	iotml debruijn <n>                     print the de Bruijn SCD of B_n
+//	iotml fit -o model.iotml ...           fit and persist a model artifact
+//	iotml predict -m model.iotml ...       score JSON instances offline
+//	iotml serve -m model.iotml -addr :8080 serve the batched inference API
 //
 // -parallel N bounds total concurrency: `run all` spends the budget across
 // experiments (independent experiments run concurrently, their rows
@@ -121,6 +124,12 @@ func run(args []string) error {
 		}
 		fmt.Println(experiments.Figure2())
 		return nil
+	case "fit":
+		return runFit(args[1:], workers)
+	case "predict":
+		return runPredict(args[1:])
+	case "serve":
+		return runServe(args[1:])
 	case "debruijn":
 		n := 3
 		if len(args) > 1 {
@@ -159,6 +168,12 @@ commands:
   table1             print the paper's Table I
   figure2 [--dot]    print the paper's Figure 2 (optionally as GraphViz DOT)
   debruijn <n>       print the de Bruijn symmetric chain decomposition of B_n
+  fit -o m.iotml     fit a model and save it as a versioned artifact
+                     (-workload -n -seed -learner -kernel -combiner -search; see fit -h)
+  predict -m m.iotml score JSON instances offline (reads {"instances": [...]}
+                     from -in file or stdin, writes {"scores","labels"})
+  serve -m m.iotml   serve the batched HTTP inference API on -addr (default
+                     :8080): GET /healthz, GET /model, POST /predict
 
 flags:
   -parallel N        worker pool size for run all and per-experiment rows

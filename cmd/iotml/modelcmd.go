@@ -1,0 +1,254 @@
+// Model lifecycle subcommands: fit persists a trained model artifact,
+// predict scores instances against one offline, serve exposes it as the
+// batched HTTP inference service (internal/serve) — the train-once/
+// serve-forever split on the command line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/kernelmachine"
+	"repro/internal/mkl"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// buildWorkload generates one of the synthetic faceted workloads,
+// standardized the way the experiments and examples consume them.
+func buildWorkload(workload string, n int, seed int64) (*dataset.Dataset, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var d *dataset.Dataset
+	switch workload {
+	case "biometric":
+		cfg := dataset.DefaultBiometricConfig()
+		if n > 0 {
+			cfg.N = n
+		}
+		d = dataset.SyntheticBiometric(cfg, rng)
+	case "surface":
+		cfg := dataset.DefaultSurfaceConfig()
+		if n > 0 {
+			cfg.N = n
+		}
+		d = dataset.SyntheticObjectSurface(cfg, rng)
+	default:
+		return nil, fmt.Errorf("unknown workload %q (biometric|surface)", workload)
+	}
+	d.Standardize()
+	return d, nil
+}
+
+func buildTrainer(learner string, svmC float64, svmSeed int64) (kernelmachine.Trainer, error) {
+	switch learner {
+	case "ridge":
+		return kernelmachine.Ridge{Lambda: 1e-2}, nil
+	case "svm":
+		return kernelmachine.SVM{C: svmC, Seed: svmSeed}, nil
+	case "perceptron":
+		return kernelmachine.Perceptron{}, nil
+	default:
+		return nil, fmt.Errorf("unknown learner %q (ridge|svm|perceptron)", learner)
+	}
+}
+
+func buildFactory(kind string, gamma float64) (kernel.BlockKernelFactory, error) {
+	switch kind {
+	case "rbf":
+		return kernel.RBFFactory(gamma), nil
+	case "linear":
+		return kernel.LinearFactory(), nil
+	case "norm-rbf":
+		return kernel.NormalizedFactory(kernel.RBFFactory(gamma)), nil
+	default:
+		return nil, fmt.Errorf("unknown kernel %q (rbf|linear|norm-rbf)", kind)
+	}
+}
+
+func buildSearch(search string) (core.SearchStrategy, error) {
+	switch search {
+	case "chain":
+		return core.SearchChain, nil
+	case "chain-first":
+		return core.SearchChainFirstImprovement, nil
+	case "greedy":
+		return core.SearchGreedy, nil
+	case "exhaustive":
+		return core.SearchExhaustive, nil
+	default:
+		return 0, fmt.Errorf("unknown search %q (chain|chain-first|greedy|exhaustive)", search)
+	}
+}
+
+// runFit implements `iotml fit`: run the paper's partition-driven MKL fit
+// on a synthetic workload and persist the deployment model as an artifact.
+func runFit(args []string, workers int) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	out := fs.String("o", "", "output artifact path (required), e.g. model.iotml")
+	workload := fs.String("workload", "biometric", "synthetic workload: biometric|surface")
+	n := fs.Int("n", 0, "instances to generate (0 = workload default)")
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	learner := fs.String("learner", "ridge", "learner: ridge|svm|perceptron")
+	svmC := fs.Float64("svm-c", 1, "SVM soft-margin penalty")
+	kernelKind := fs.String("kernel", "rbf", "block kernel: rbf|linear|norm-rbf")
+	gamma := fs.Float64("gamma", 1.0, "RBF base bandwidth (gamma/|block|)")
+	combiner := fs.String("combiner", "sum", "block combiner: sum|product")
+	search := fs.String("search", "chain", "lattice search: chain|chain-first|greedy|exhaustive")
+	folds := fs.Int("folds", 0, "CV folds (0 = default 4)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("fit: -o output path is required")
+	}
+	d, err := buildWorkload(*workload, *n, *seed)
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	trainer, err := buildTrainer(*learner, *svmC, *seed)
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	factory, err := buildFactory(*kernelKind, *gamma)
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	strategy, err := buildSearch(*search)
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	comb := kernel.CombineSum
+	if *combiner == "product" {
+		comb = kernel.CombineProduct
+	} else if *combiner != "sum" {
+		return fmt.Errorf("fit: unknown combiner %q (sum|product)", *combiner)
+	}
+	cfg := core.FitConfig{
+		Search: strategy,
+		MKL: mkl.Config{
+			Factory:     factory,
+			Combiner:    comb,
+			Trainer:     trainer,
+			Folds:       *folds,
+			Parallelism: workers,
+		},
+	}
+	res, err := core.PartitionDrivenMKL(d, cfg)
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	art, err := res.Artifact()
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	if err := art.SaveFile(*out); err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	fmt.Printf("fit: workload=%s n=%d d=%d seed=%d learner=%s\n", *workload, d.N(), d.D(), *seed, *learner)
+	fmt.Printf("seed partition: %v (attrs %v)\n", res.Seed, res.SeedAttrs)
+	fmt.Printf("best partition: %v  cv-score=%.4f  evaluations=%d\n", res.Best, res.Score, res.Evaluations)
+	fmt.Printf("artifact: %s (%s, %d training rows, %d features)\n", *out, art.Learner, art.NumTrain(), art.Dim())
+	return nil
+}
+
+// runPredict implements `iotml predict`: offline batch scoring of JSON
+// instances against a saved artifact. The request and response shapes are
+// exactly the serving API's, so a predict dry run and a /predict call are
+// interchangeable.
+func runPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	mpath := fs.String("m", "", "model artifact path (required)")
+	in := fs.String("in", "-", "JSON request file ({\"instances\": [[...], ...]}), - for stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mpath == "" {
+		return fmt.Errorf("predict: -m model path is required")
+	}
+	art, err := model.LoadFile(*mpath)
+	if err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("predict: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req serve.PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return fmt.Errorf("predict: decoding request: %w", err)
+	}
+	rows := req.Instances
+	if req.Instance != nil {
+		rows = append(rows, req.Instance)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("predict: request has no instances")
+	}
+	for i, row := range rows {
+		if err := model.ValidateRow(art.Dim(), row); err != nil {
+			return fmt.Errorf("predict: instance %d: %w", i, err)
+		}
+	}
+	pred, err := model.NewPredictor(art)
+	if err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+	scores, err := pred.Scores(rows)
+	if err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(serve.PredictResponse{Scores: scores, Labels: model.Labels(scores)})
+}
+
+// runServe implements `iotml serve`: load an artifact and serve the
+// batched inference API until the process is stopped.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	mpath := fs.String("m", "", "model artifact path (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxBatch := fs.Int("max-batch", 0, "max instances per scoring batch (0 = default 64)")
+	flush := fs.Duration("flush", 0, "batch flush interval (0 = default 2ms)")
+	workers := fs.Int("workers", 0, "scoring workers (0 = default 2)")
+	queue := fs.Int("queue", 0, "pending request queue depth (0 = default 256)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mpath == "" {
+		return fmt.Errorf("serve: -m model path is required")
+	}
+	art, err := model.LoadFile(*mpath)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv, err := serve.New(art, serve.Config{
+		MaxBatch:      *maxBatch,
+		FlushInterval: *flush,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer srv.Close()
+	fmt.Printf("serving %s (%s, %d features) on %s\n", *mpath, art.Learner, art.Dim(), *addr)
+	fmt.Printf("endpoints: GET /healthz  GET /model  POST /predict\n")
+	if err := srv.ListenAndServe(*addr); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}

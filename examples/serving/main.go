@@ -1,0 +1,125 @@
+// Serving: the train-once/serve-forever lifecycle end to end — fit a
+// partition-driven MKL model, persist it as a versioned artifact
+// (internal/model), serve it over HTTP with micro-batched inference
+// (internal/serve), and query it like a client would.
+//
+// The same flow on the command line:
+//
+//	iotml fit -o model.iotml -workload biometric -seed 1
+//	iotml serve -m model.iotml -addr :8080 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/predict -d '{"instances": [[...]]}'
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	iotml "repro"
+	"repro/internal/mkl"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+func main() {
+	// 1. Offline: fit on the faceted biometric workload.
+	cfg := iotml.DefaultBiometricConfig()
+	cfg.N = 120
+	if os.Getenv("IOTML_EXAMPLE_TINY") != "" {
+		cfg.N = 40 // smoke-test workload (see examples_smoke_test.go)
+	}
+	train := iotml.SyntheticBiometric(cfg, iotml.NewRNG(1))
+	train.Standardize()
+	res, err := iotml.PartitionDrivenMKL(train, iotml.FitConfig{
+		MKL: mkl.Config{Folds: 4, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted: partition %s (cv score %.3f)\n", res.Best, res.Score)
+
+	// 2. Persist: package the deployment model as a versioned artifact.
+	art, err := res.Artifact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "serving-example.iotml")
+	if err := art.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(path)
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved:  %s (%d bytes, format v%d, learner %s)\n",
+		path, info.Size(), model.FormatVersion, art.LearnerKind)
+
+	// 3. Online: load the artifact (a fresh process would use
+	// model.LoadFile) and serve it. httptest stands in for a real listener
+	// so the example is self-contained; `iotml serve` binds a real port.
+	loaded, err := model.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(loaded, serve.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	fmt.Printf("serving: %s\n", hs.URL)
+
+	// 4. Query: health, model metadata, and batched predictions.
+	var health struct {
+		Status  string `json:"status"`
+		Learner string `json:"learner"`
+	}
+	mustGetJSON(hs.URL+"/healthz", &health)
+	fmt.Printf("healthz: status=%s learner=%s\n", health.Status, health.Learner)
+
+	var meta struct {
+		Partition string `json:"partition"`
+		Kernel    string `json:"kernel"`
+		Dim       int    `json:"dim"`
+	}
+	mustGetJSON(hs.URL+"/model", &meta)
+	fmt.Printf("model:   partition=%s dim=%d\n", meta.Partition, meta.Dim)
+
+	req := serve.PredictRequest{Instances: train.X[:3]}
+	raw, _ := json.Marshal(req)
+	resp, err := http.Post(hs.URL+"/predict", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range pr.Scores {
+		fmt.Printf("predict: instance %d -> score %+.4f label %+d (true %+d)\n",
+			i, s, pr.Labels[i], train.Y[i])
+	}
+	m := srv.Snapshot()
+	fmt.Printf("metrics: %d requests, %d instances in %d batches (last batch %dus)\n",
+		m.Requests, m.Instances, m.Batches, m.LastBatchMicros)
+}
+
+func mustGetJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -83,19 +83,23 @@ type Delta struct {
 // (benchmark, metric) whose current value exceeds the baseline by more than
 // threshold (0.20 = +20%), for ns/op and allocs/op. A zero allocs/op
 // baseline — the steady state the fast paths aim for — reports any growth
-// at all (a relative threshold would never fire on it). Benchmarks present
-// in only one report are skipped — renamed or new benchmarks are not
-// regressions — as are metrics absent from either side. Order follows
-// cur's benchmark order (ns/op before allocs/op per benchmark), so output
-// is deterministic.
+// at all (a relative threshold would never fire on it). Matching strips
+// the -GOMAXPROCS name suffix ("BenchmarkGram_Config_Vector-8" matches a
+// baseline "BenchmarkGram_Config_Vector"), so a baseline captured on one
+// core count still gates runs on another — without this, a CI runner with
+// a different GOMAXPROCS than the capture machine would silently compare
+// nothing. Benchmarks present in only one report are skipped — renamed or
+// new benchmarks are not regressions — as are metrics absent from either
+// side. Order follows cur's benchmark order (ns/op before allocs/op per
+// benchmark), so output is deterministic.
 func Regressions(base, cur *Report, threshold float64) []Delta {
 	old := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		old[b.Name] = b
+		old[baseName(b.Name)] = b
 	}
 	var out []Delta
 	for _, b := range cur.Benchmarks {
-		o, ok := old[b.Name]
+		o, ok := old[baseName(b.Name)]
 		if !ok {
 			continue
 		}
@@ -114,6 +118,22 @@ func Regressions(base, cur *Report, threshold float64) []Delta {
 		}
 	}
 	return out
+}
+
+// baseName strips the -GOMAXPROCS suffix the testing package appends to
+// benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo"), the key Regressions
+// matches on. Names without an all-digit suffix pass through unchanged.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // parseLine parses one "BenchmarkName-8  163  7840653 ns/op  6116528 B/op

@@ -100,6 +100,36 @@ func TestRegressions(t *testing.T) {
 	}
 }
 
+// TestRegressionsMatchAcrossGOMAXPROCSSuffixes pins the cross-machine
+// matching rule: a baseline captured at one core count must still gate a
+// run captured at another (the suffix differs, the benchmark is the same).
+func TestRegressionsMatchAcrossGOMAXPROCSSuffixes(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: f64(100)}, // 1-core capture, no suffix
+		{Name: "BenchmarkB-2", NsPerOp: 1000, AllocsPerOp: f64(100)},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: f64(200)},
+		{Name: "BenchmarkB-8", NsPerOp: 1000, AllocsPerOp: f64(200)},
+	}}
+	got := Regressions(base, cur, 0.20)
+	if len(got) != 2 {
+		t.Fatalf("got %d deltas (%+v), want 2 across differing suffixes", len(got), got)
+	}
+	for i, d := range got {
+		if d.Metric != "allocs/op" || d.Ratio != 2 {
+			t.Errorf("delta[%d] = %+v", i, d)
+		}
+	}
+	// A trailing non-numeric suffix is part of the name, not a proc count.
+	if bn := baseName("BenchmarkX-lite"); bn != "BenchmarkX-lite" {
+		t.Errorf("baseName(BenchmarkX-lite) = %q", bn)
+	}
+	if bn := baseName("BenchmarkY-16"); bn != "BenchmarkY" {
+		t.Errorf("baseName(BenchmarkY-16) = %q", bn)
+	}
+}
+
 func TestRegressionsAtThresholdBoundary(t *testing.T) {
 	base := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA-8", NsPerOp: 1000}}}
 	cur := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA-8", NsPerOp: 1200}}}

@@ -12,7 +12,10 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/kernelmachine"
 	"repro/internal/mkl"
+	"repro/internal/model"
 	"repro/internal/partition"
 	"repro/internal/rough"
 )
@@ -74,6 +77,51 @@ type FitResult struct {
 	Score float64
 	// Evaluations counts kernel configurations scored during the search.
 	Evaluations int
+
+	// data and cfg are retained so Artifact can retrain the selected
+	// configuration on the full training set (the deployment fit).
+	data *dataset.Dataset
+	cfg  FitConfig
+}
+
+// Artifact retrains the selected configuration on the full training set —
+// the deployment fit, via mkl.TrainDeployed, so it is exactly the model
+// mkl.HoldoutAccuracy would score — and packages it as a persistable
+// model.Artifact: kernel spec, partition, training rows, dual coefficients,
+// bias, and learner kind. Save the result with Artifact.Save/SaveFile and
+// serve it with internal/serve; scores from the artifact (and from its
+// saved-then-loaded copy) are bit-identical to scoring the deployed model
+// in memory.
+func (r *FitResult) Artifact() (*model.Artifact, error) {
+	if r.data == nil {
+		return nil, fmt.Errorf("core: fit result was not produced by PartitionDrivenMKL; no training data to package")
+	}
+	k, m, trainer, err := mkl.TrainDeployed(r.data, r.Best, r.cfg.MKL)
+	if err != nil {
+		return nil, fmt.Errorf("core: deployment fit: %w", err)
+	}
+	df, ok := m.(kernelmachine.DualForm)
+	if !ok {
+		return nil, fmt.Errorf("core: %T model has no extractable dual form", m)
+	}
+	spec, err := kernel.ToSpec(k)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	art := &model.Artifact{
+		LearnerKind:  model.LearnerKindOf(trainer),
+		Learner:      trainer.String(),
+		Partition:    r.Best,
+		KernelSpec:   spec,
+		FeatureNames: r.data.FeatureNames,
+		TrainX:       r.data.Matrix(),
+		Coeff:        df.Coefficients(),
+		Bias:         df.Bias(),
+	}
+	if err := art.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return art, nil
 }
 
 // PartitionDrivenMKL runs the paper's Section III procedure end to end on
@@ -120,6 +168,8 @@ func PartitionDrivenMKL(d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
 		Best:        res.Best,
 		Score:       res.Score,
 		Evaluations: res.Evaluations,
+		data:        d,
+		cfg:         cfg,
 	}, nil
 }
 

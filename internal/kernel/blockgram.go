@@ -313,3 +313,21 @@ func GramIntoMatrix(dst *linalg.Matrix, k Kernel, xm *linalg.Matrix) (*linalg.Ma
 	}
 	return dst, bg.GramInto(dst, xm)
 }
+
+// CrossGramIntoMatrix fills dst with the rectangular kernel matrix
+// K[i][j] = k(A[i], B[j]) over the rows of a and b through the vectorized
+// path, reporting false (dst unspecified) when k cannot vectorize. dst is
+// reallocated if nil or mis-sized; the possibly fresh matrix is returned
+// either way so callers can keep it as scratch — the cross-Gram analogue of
+// GramIntoMatrix, used by the batched inference path (internal/model's
+// Predictor).
+func CrossGramIntoMatrix(dst *linalg.Matrix, k Kernel, a, b *linalg.Matrix) (*linalg.Matrix, bool) {
+	bg, ok := k.(BlockGramKernel)
+	if !ok {
+		return dst, false
+	}
+	if dst == nil || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		dst = linalg.NewMatrix(a.Rows, b.Rows)
+	}
+	return dst, bg.CrossGramInto(dst, a, b)
+}

@@ -1,0 +1,150 @@
+package kernel
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// specRoundTrip encodes k, re-decodes it (through JSON, the artifact
+// transport), and returns the rebuilt kernel.
+func specRoundTrip(t *testing.T, k Kernel) Kernel {
+	t.Helper()
+	spec, err := ToSpec(k)
+	if err != nil {
+		t.Fatalf("ToSpec(%v): %v", k, err)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	var decoded Spec
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("unmarshal spec: %v", err)
+	}
+	rebuilt, err := decoded.FromSpec()
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	return rebuilt
+}
+
+func TestSpecRoundTripRebuildsEqualKernels(t *testing.T) {
+	kernels := []Kernel{
+		Linear{},
+		Polynomial{Degree: 3, Gamma: 0.5, Coef0: 1},
+		RBF{Gamma: 0.25},
+		Normalized{Base: RBF{Gamma: 2}},
+		Subspace{Base: Linear{}, Features: []int{0, 2, 5}},
+		Sum{
+			Kernels: []Kernel{
+				Subspace{Base: RBF{Gamma: 0.5}, Features: []int{0, 1}},
+				Subspace{Base: Polynomial{Degree: 2, Gamma: 1, Coef0: 0.5}, Features: []int{2, 3}},
+			},
+			Weights: []float64{0.5, 0.5},
+		},
+		Product{
+			Kernels: []Kernel{
+				Subspace{Base: Normalized{Base: Linear{}}, Features: []int{0}},
+				Subspace{Base: RBF{Gamma: 1.5}, Features: []int{1, 2, 3}},
+			},
+		},
+	}
+	for _, k := range kernels {
+		rebuilt := specRoundTrip(t, k)
+		if !reflect.DeepEqual(k, rebuilt) {
+			t.Errorf("round trip of %v rebuilt %#v, want %#v", k, rebuilt, k)
+		}
+	}
+}
+
+func TestSpecRoundTripIsBitIdenticalOnFromPartitionTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const d = 6
+	x := make([][]float64, 12)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	parts := []partition.Partition{
+		partition.Coarsest(d),
+		partition.Finest(d),
+		partition.MustFromBlocks(d, [][]int{{1, 2}, {3, 4, 5}, {6}}),
+	}
+	factories := map[string]BlockKernelFactory{
+		"rbf":       RBFFactory(1.0),
+		"linear":    LinearFactory(),
+		"norm(rbf)": NormalizedFactory(RBFFactory(0.7)),
+	}
+	for name, factory := range factories {
+		for _, combiner := range []Combiner{CombineSum, CombineProduct} {
+			for _, p := range parts {
+				k := FromPartition(p, factory, combiner)
+				rebuilt := specRoundTrip(t, k)
+				for i := range x {
+					for j := range x {
+						a, b := k.Eval(x[i], x[j]), rebuilt.Eval(x[i], x[j])
+						if a != b {
+							t.Fatalf("%s %v %v: Eval(%d,%d) = %v, rebuilt %v", name, combiner, p, i, j, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestToSpecRejectsForeignKernels(t *testing.T) {
+	if _, err := ToSpec(foreignKernel{}); err == nil {
+		t.Fatal("ToSpec accepted a kernel outside the package algebra")
+	}
+	// A foreign kernel nested inside a combiner must be rejected too.
+	if _, err := ToSpec(Sum{Kernels: []Kernel{Linear{}, foreignKernel{}}}); err == nil {
+		t.Fatal("ToSpec accepted a sum containing a foreign kernel")
+	}
+}
+
+type foreignKernel struct{}
+
+func (foreignKernel) Eval(x, y []float64) float64 { return 0 }
+func (foreignKernel) String() string              { return "foreign" }
+
+func TestFromSpecRejectsMalformedSpecs(t *testing.T) {
+	bad := []*Spec{
+		nil,
+		{Kind: "no-such-kernel"},
+		{Kind: SpecPolynomial, Degree: 0},
+		{Kind: SpecSubspace, Base: &Spec{Kind: SpecLinear}},
+		{Kind: SpecSubspace, Features: []int{-1}, Base: &Spec{Kind: SpecLinear}},
+		{Kind: SpecSum},
+		{Kind: SpecSum, Kernels: []*Spec{{Kind: SpecLinear}}, Weights: []float64{1, 2}},
+		{Kind: SpecNormalized},
+	}
+	for i, s := range bad {
+		if _, err := s.FromSpec(); err == nil {
+			t.Errorf("case %d: FromSpec accepted malformed spec %+v", i, s)
+		}
+	}
+}
+
+func TestSpecMaxDim(t *testing.T) {
+	spec, err := ToSpec(Sum{Kernels: []Kernel{
+		Subspace{Base: Linear{}, Features: []int{0, 1}},
+		Subspace{Base: RBF{Gamma: 1}, Features: []int{4, 7}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.MaxDim(); got != 8 {
+		t.Fatalf("MaxDim = %d, want 8", got)
+	}
+	plain, _ := ToSpec(Linear{})
+	if got := plain.MaxDim(); got != 0 {
+		t.Fatalf("MaxDim(linear) = %d, want 0", got)
+	}
+}

@@ -67,6 +67,28 @@ func validate(gram *linalg.Matrix, y []int) error {
 	return nil
 }
 
+// DualForm is the extraction interface of models in dual representation:
+// score(x) = Σ coeff_i K(x_i, x) + bias. Every trainer in this package
+// returns a model implementing it; model persistence (internal/model) uses
+// it to lift the fitted coefficients out of the process.
+type DualForm interface {
+	Model
+	// Coefficients returns a copy of the dual coefficients (one per
+	// training row, alpha_i y_i for SVM, alpha_i for ridge/perceptron).
+	Coefficients() []float64
+	// Bias returns the intercept.
+	Bias() float64
+}
+
+// NewDualModel rebuilds a prediction-ready model from extracted dual
+// coefficients and bias — the load-time inverse of DualForm. The returned
+// model scores through the exact code path the trainers' models use, so a
+// persisted model's scores are bit-identical to the fitted one's. The
+// coefficient slice is copied.
+func NewDualModel(coeff []float64, bias float64) DualForm {
+	return &dualModel{coeff: append([]float64(nil), coeff...), b: bias}
+}
+
 // dualModel is the shared prediction form: score(x) = Σ coeff_i K(x_i, x) + b.
 type dualModel struct {
 	coeff []float64 // alpha_i * y_i for SVM; alpha_i for ridge
@@ -87,6 +109,13 @@ func (m *dualModel) Scores(cross *linalg.Matrix) []float64 {
 // cross-Gram with trailing extra columns). Both routes are bit-identical to
 // the historical per-element loop.
 func (m *dualModel) ScoresInto(dst []float64, cross *linalg.Matrix) []float64 {
+	if cross.Cols < len(m.coeff) {
+		// Historically this fell through to an opaque slice-bounds panic;
+		// fail with the actual shape mismatch instead. (More columns than
+		// coefficients stays legal — co-training scores against cross-Grams
+		// with trailing extra columns.)
+		panic(fmt.Sprintf("kernelmachine: cross-Gram has %d columns for %d dual coefficients", cross.Cols, len(m.coeff)))
+	}
 	if m.b == 0 && cross.Cols == len(m.coeff) {
 		return linalg.MulVecInto(dst, cross, m.coeff)
 	}
@@ -245,8 +274,9 @@ func absf(a float64) float64 {
 }
 
 var (
-	_ Trainer = SVM{}
-	_ Trainer = Ridge{}
-	_ Trainer = Perceptron{}
-	_ Model   = (*dualModel)(nil)
+	_ Trainer  = SVM{}
+	_ Trainer  = Ridge{}
+	_ Trainer  = Perceptron{}
+	_ Model    = (*dualModel)(nil)
+	_ DualForm = (*dualModel)(nil)
 )

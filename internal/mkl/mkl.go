@@ -705,20 +705,42 @@ func ViewOracle(e *Evaluator) (*Result, error) {
 // matrices go through the vectorized block path unless cfg.ExactGram forces
 // the pairwise one.
 func HoldoutAccuracy(train, test *dataset.Dataset, p partition.Partition, cfg Config) (float64, error) {
-	cfg = cfg.withDefaults()
-	k := kernel.FromPartition(p, cfg.Factory, cfg.Combiner)
-	var gram, cross *linalg.Matrix
-	if cfg.ExactGram {
-		gram = kernel.GramPairwise(k, train.X)
-		cross = kernel.CrossGramPairwise(k, test.X, train.X)
-	} else {
-		gram = kernel.Gram(k, train.X)
-		cross = kernel.CrossGram(k, test.X, train.X)
-	}
-	model, err := cfg.Trainer.Train(gram, train.Y)
+	k, model, _, err := TrainDeployed(train, p, cfg)
 	if err != nil {
 		return 0, err
 	}
+	var cross *linalg.Matrix
+	if cfg.ExactGram {
+		cross = kernel.CrossGramPairwise(k, test.X, train.X)
+	} else {
+		cross = kernel.CrossGram(k, test.X, train.X)
+	}
 	pred := kernelmachine.Classify(model.Scores(cross))
 	return stats.Accuracy(pred, test.Y), nil
+}
+
+// TrainDeployed retrains the kernel configuration induced by p on all of
+// train — the deployment fit, as opposed to the CV fits of the lattice
+// search — and returns the assembled kernel, the fitted model, and the
+// resolved trainer (configuration defaults applied). Model persistence
+// (core.FitResult.Artifact) and HoldoutAccuracy share this path, so the
+// model an artifact captures is exactly the model the holdout measurement
+// scores.
+func TrainDeployed(train *dataset.Dataset, p partition.Partition, cfg Config) (kernel.Kernel, kernelmachine.Model, kernelmachine.Trainer, error) {
+	cfg = cfg.withDefaults()
+	if p.N() != train.D() {
+		return nil, nil, nil, fmt.Errorf("mkl: partition over %d features, dataset has %d", p.N(), train.D())
+	}
+	k := kernel.FromPartition(p, cfg.Factory, cfg.Combiner)
+	var gram *linalg.Matrix
+	if cfg.ExactGram {
+		gram = kernel.GramPairwise(k, train.X)
+	} else {
+		gram = kernel.Gram(k, train.X)
+	}
+	model, err := cfg.Trainer.Train(gram, train.Y)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return k, model, cfg.Trainer, nil
 }

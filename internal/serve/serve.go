@@ -1,0 +1,454 @@
+// Package serve is the online half of the train-once/serve-forever split:
+// an HTTP inference server over a persisted model artifact
+// (internal/model). The offline pipeline fits and saves a model; this
+// server loads it once and answers prediction traffic until shutdown.
+//
+// # Batching
+//
+// Concurrent /predict requests are micro-batched: a bounded worker pool
+// drains the request queue, coalescing up to Config.MaxBatch instances (or
+// whatever arrives within Config.FlushInterval of the first) into ONE
+// vectorized cross-Gram plus ONE matrix-vector product against
+// worker-owned, reused scratch (model.Predictor). A single request larger
+// than MaxBatch is scored in MaxBatch-sized chunks, so worker scratch
+// stays bounded no matter the request size. Scoring is row-wise
+// independent, so batched and chunked scores are bit-identical to
+// single-request scores — batching changes latency and throughput, never
+// answers.
+//
+// # Endpoints
+//
+//	GET  /healthz  liveness + serving metrics (request/batch counters,
+//	               per-batch latency)
+//	GET  /model    the loaded artifact's self-description
+//	POST /predict  {"instances": [[...], ...]} → {"scores": [...],
+//	               "labels": [...]}
+//
+// Request validation happens at the boundary: wrong dimensionality and
+// non-finite features (NaN/±Inf) are rejected with 400 before anything is
+// enqueued, so scoring workers only ever see clean batches.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Config tunes the serving pipeline. Zero values select the defaults.
+type Config struct {
+	// MaxBatch caps the instances coalesced into one scoring batch
+	// (default 64).
+	MaxBatch int
+	// FlushInterval is how long a worker waits for more requests after the
+	// first before scoring a partial batch (default 2ms). Zero keeps the
+	// default; use Immediate to disable coalescing.
+	FlushInterval time.Duration
+	// Immediate disables batching waits: every batch is scored as soon as
+	// the queue is momentarily empty. Useful in tests.
+	Immediate bool
+	// Workers is the scoring worker count, each owning its predictor and
+	// scratch (default 2).
+	Workers int
+	// QueueDepth bounds pending requests; beyond it /predict returns 503
+	// (default 256).
+	QueueDepth int
+	// MaxRequestBytes bounds a /predict body (default 32 MiB).
+	MaxRequestBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 32 << 20
+	}
+	return c
+}
+
+// Metrics is a consistent snapshot of the serving counters.
+type Metrics struct {
+	Requests      int64 `json:"requests"`       // accepted /predict requests
+	Rejected      int64 `json:"rejected"`       // 4xx/503 /predict requests
+	Instances     int64 `json:"instances"`      // instances scored
+	Batches       int64 `json:"batches"`        // scoring batches executed
+	MaxBatchSize  int   `json:"max_batch_size"` // largest batch so far
+	LastBatchSize int   `json:"last_batch_size"`
+	// Per-batch scoring latency (assembly through score distribution).
+	LastBatchMicros  int64 `json:"last_batch_us"`
+	MaxBatchMicros   int64 `json:"max_batch_us"`
+	TotalBatchMicros int64 `json:"total_batch_us"`
+}
+
+// MeanBatchMicros returns the average per-batch latency.
+func (m Metrics) MeanBatchMicros() int64 {
+	if m.Batches == 0 {
+		return 0
+	}
+	return m.TotalBatchMicros / m.Batches
+}
+
+// Server batches and serves predictions over one loaded artifact.
+type Server struct {
+	art   *model.Artifact
+	cfg   Config
+	queue chan *job
+	done  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+// job is one enqueued predict request; the worker answers on resp (buffered,
+// so workers never block on a departed client).
+type job struct {
+	rows [][]float64
+	resp chan jobResult
+}
+
+type jobResult struct {
+	scores []float64
+	err    error
+}
+
+// New validates the artifact, spawns the scoring workers, and returns the
+// server. Callers must Close it to release the workers.
+func New(art *model.Artifact, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := art.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		art:   art,
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		pred, err := model.NewPredictor(art)
+		if err != nil {
+			close(s.done)
+			return nil, err
+		}
+		s.wg.Add(1)
+		go s.worker(pred)
+	}
+	return s, nil
+}
+
+// Close stops the scoring workers; queued and in-flight requests receive
+// errors. The HTTP listener, if any, is the caller's to shut down (see
+// ListenAndServe).
+func (s *Server) Close() {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	close(s.done)
+	s.wg.Wait()
+}
+
+// worker drains the queue, coalescing requests into scoring batches.
+func (s *Server) worker(pred *model.Predictor) {
+	defer s.wg.Done()
+	var scoreBuf, chunkBuf []float64
+	rows := make([][]float64, 0, s.cfg.MaxBatch)
+	for {
+		var first *job
+		select {
+		case <-s.done:
+			return
+		case first = <-s.queue:
+		}
+		began := time.Now()
+		batch := []*job{first}
+		total := len(first.rows)
+		// Coalesce whatever else arrives before the flush deadline, up to
+		// MaxBatch instances.
+		var timer *time.Timer
+		if !s.cfg.Immediate {
+			timer = time.NewTimer(s.cfg.FlushInterval)
+		}
+	coalesce:
+		for total < s.cfg.MaxBatch {
+			if s.cfg.Immediate {
+				select {
+				case j := <-s.queue:
+					batch = append(batch, j)
+					total += len(j.rows)
+				default:
+					break coalesce
+				}
+				continue
+			}
+			select {
+			case <-s.done:
+				timer.Stop()
+				for _, j := range batch {
+					j.resp <- jobResult{err: fmt.Errorf("serve: server closed")}
+				}
+				return
+			case j := <-s.queue:
+				batch = append(batch, j)
+				total += len(j.rows)
+			case <-timer.C:
+				break coalesce
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+
+		rows = rows[:0]
+		for _, j := range batch {
+			rows = append(rows, j.rows...)
+		}
+		// Score in MaxBatch-sized chunks: coalescing bounds how many JOBS
+		// join a batch, but a single oversized request can exceed MaxBatch
+		// on its own — chunking keeps the worker's cross-Gram scratch
+		// bounded at MaxBatch×NumTrain regardless of request size (scoring
+		// is row-wise independent, so chunked scores are bit-identical).
+		// Rows were validated at the HTTP boundary, so the prevalidated
+		// entry point skips the redundant per-row scan.
+		scoreBuf = scoreBuf[:0]
+		var err error
+		for start := 0; start < len(rows) && err == nil; start += s.cfg.MaxBatch {
+			end := min(start+s.cfg.MaxBatch, len(rows))
+			chunkBuf, err = pred.ScoresIntoPrevalidated(chunkBuf, rows[start:end])
+			scoreBuf = append(scoreBuf, chunkBuf...)
+		}
+		if err != nil {
+			// Only a malformed hand-enqueued job can reach this. Fail the
+			// whole batch loudly.
+			for _, j := range batch {
+				j.resp <- jobResult{err: err}
+			}
+			continue
+		}
+		off := 0
+		for _, j := range batch {
+			// Copy out of the worker's reused score scratch.
+			out := make([]float64, len(j.rows))
+			copy(out, scoreBuf[off:off+len(j.rows)])
+			off += len(j.rows)
+			j.resp <- jobResult{scores: out}
+		}
+		elapsed := time.Since(began).Microseconds()
+
+		s.mu.Lock()
+		s.metrics.Batches++
+		s.metrics.Instances += int64(total)
+		s.metrics.LastBatchSize = total
+		if total > s.metrics.MaxBatchSize {
+			s.metrics.MaxBatchSize = total
+		}
+		s.metrics.LastBatchMicros = elapsed
+		s.metrics.TotalBatchMicros += elapsed
+		if elapsed > s.metrics.MaxBatchMicros {
+			s.metrics.MaxBatchMicros = elapsed
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Snapshot returns the current metrics.
+func (s *Server) Snapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+func (s *Server) countAccepted() {
+	s.mu.Lock()
+	s.metrics.Requests++
+	s.mu.Unlock()
+}
+
+func (s *Server) countRejected() {
+	s.mu.Lock()
+	s.metrics.Rejected++
+	s.mu.Unlock()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/predict", s.handlePredict)
+	return mux
+}
+
+// ListenAndServe serves the API on addr until the http.Server errors. It is
+// a convenience for the CLI; tests mount Handler on httptest servers.
+func (s *Server) ListenAndServe(addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return hs.ListenAndServe()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the only failure mode left
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+type healthzResponse struct {
+	Status   string  `json:"status"`
+	Learner  string  `json:"learner"`
+	UptimeMS int64   `json:"uptime_ms"`
+	Workers  int     `json:"workers"`
+	MaxBatch int     `json:"max_batch"`
+	Metrics  Metrics `json:"metrics"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:   "ok",
+		Learner:  s.art.LearnerKind,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Workers:  s.cfg.Workers,
+		MaxBatch: s.cfg.MaxBatch,
+		Metrics:  s.Snapshot(),
+	})
+}
+
+type modelResponse struct {
+	FormatVersion int      `json:"format_version"`
+	LearnerKind   string   `json:"learner_kind"`
+	Learner       string   `json:"learner,omitempty"`
+	Partition     string   `json:"partition"`
+	Kernel        string   `json:"kernel"`
+	Dim           int      `json:"dim"`
+	NumTrain      int      `json:"n_train"`
+	FeatureNames  []string `json:"feature_names,omitempty"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "model is GET-only")
+		return
+	}
+	k, err := s.art.KernelSpec.FromSpec()
+	if err != nil { // validated at New; unreachable in practice
+		writeError(w, http.StatusInternalServerError, "kernel spec: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelResponse{
+		FormatVersion: model.FormatVersion,
+		LearnerKind:   s.art.LearnerKind,
+		Learner:       s.art.Learner,
+		Partition:     s.art.Partition.String(),
+		Kernel:        k.String(),
+		Dim:           s.art.Dim(),
+		NumTrain:      s.art.NumTrain(),
+		FeatureNames:  s.art.FeatureNames,
+	})
+}
+
+// PredictRequest is the /predict body. Instance is a single-row
+// convenience; when both are present Instance is scored after Instances.
+type PredictRequest struct {
+	Instances [][]float64 `json:"instances"`
+	Instance  []float64   `json:"instance,omitempty"`
+}
+
+// PredictResponse answers /predict: one decision score and one ±1 label
+// per instance, in request order.
+type PredictResponse struct {
+	Scores []float64 `json:"scores"`
+	Labels []int     `json:"labels"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "predict is POST-only")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		s.countRejected()
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	rows := req.Instances
+	if req.Instance != nil {
+		rows = append(rows, req.Instance)
+	}
+	if len(rows) == 0 {
+		s.countRejected()
+		writeError(w, http.StatusBadRequest, "request has no instances")
+		return
+	}
+	// Boundary validation: dimensionality and finiteness, per instance,
+	// before anything reaches the scoring queue. (JSON cannot carry NaN or
+	// ±Inf literals, but this also guards hand-built requests routed
+	// through ScoreBatch.)
+	for i, row := range rows {
+		if err := model.ValidateRow(s.art.Dim(), row); err != nil {
+			s.countRejected()
+			writeError(w, http.StatusBadRequest, "instance %d: %v", i, err)
+			return
+		}
+	}
+	scores, err := s.ScoreBatch(rows)
+	if err != nil {
+		s.countRejected()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.countAccepted()
+	writeJSON(w, http.StatusOK, PredictResponse{Scores: scores, Labels: model.Labels(scores)})
+}
+
+// ScoreBatch enqueues rows for batched scoring and waits for the answer —
+// the transport-free core of /predict. Rows must already be validated.
+func (s *Server) ScoreBatch(rows [][]float64) ([]float64, error) {
+	j := &job{rows: rows, resp: make(chan jobResult, 1)}
+	select {
+	case s.queue <- j:
+	case <-s.done:
+		return nil, fmt.Errorf("serve: server closed")
+	default:
+		return nil, fmt.Errorf("serve: queue full (%d pending requests)", s.cfg.QueueDepth)
+	}
+	select {
+	case res := <-j.resp:
+		return res.scores, res.err
+	case <-s.done:
+		return nil, fmt.Errorf("serve: server closed")
+	}
+}

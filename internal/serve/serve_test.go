@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/kernelmachine"
+	"repro/internal/linalg"
+	"repro/internal/model"
+)
+
+// testArtifact fits a small deterministic model directly (no lattice
+// search — the serving layer is agnostic to how the fit was selected).
+func testArtifact(t *testing.T) *model.Artifact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	cfg := dataset.BiometricConfig{N: 36, FacePerDim: 2, Noise: 0.8, IrrelevantSD: 1, NoiseFeatures: 2}
+	d := dataset.SyntheticBiometric(cfg, rng)
+	d.Standardize()
+	p := d.ViewPartition()
+	k := kernel.FromPartition(p, kernel.RBFFactory(1.0), kernel.CombineSum)
+	gram := kernel.Gram(k, d.X)
+	trainer := kernelmachine.Ridge{Lambda: 1e-2}
+	m, err := trainer.Train(gram, d.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := m.(kernelmachine.DualForm)
+	spec, err := kernel.ToSpec(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &model.Artifact{
+		LearnerKind:  model.LearnerKindOf(trainer),
+		Learner:      trainer.String(),
+		Partition:    p,
+		KernelSpec:   spec,
+		FeatureNames: d.FeatureNames,
+		TrainX:       linalg.FromRows(d.X),
+		Coeff:        df.Coefficients(),
+		Bias:         df.Bias(),
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *model.Artifact) {
+	t.Helper()
+	art := testArtifact(t)
+	s, err := New(art, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs, art
+}
+
+func postPredict(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func testQueries(dim, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(99))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+func TestHealthzAndModelEndpoints(t *testing.T) {
+	_, hs, art := newTestServer(t, Config{Immediate: true})
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Learner != model.LearnerRidge {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	mresp, err := http.Get(hs.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mi modelResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mi); err != nil {
+		t.Fatal(err)
+	}
+	if mi.Dim != art.Dim() || mi.NumTrain != art.NumTrain() || mi.FormatVersion != model.FormatVersion {
+		t.Fatalf("model info = %+v", mi)
+	}
+	if mi.Partition != art.Partition.String() {
+		t.Fatalf("partition %q, want %q", mi.Partition, art.Partition)
+	}
+}
+
+// TestPredictMatchesInMemoryScoresBitIdentically is the serving half of the
+// round-trip acceptance property: /predict answers — batched or single —
+// are bit-identical to scoring the artifact in memory.
+func TestPredictMatchesInMemoryScoresBitIdentically(t *testing.T) {
+	_, hs, art := newTestServer(t, Config{Immediate: true})
+	pred, err := model.NewPredictor(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQueries(art.Dim(), 9)
+	want, err := pred.Scores(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One batched request.
+	resp, body := postPredict(t, hs.URL, PredictRequest{Instances: q})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, body)
+	}
+	var batched PredictResponse
+	if err := json.Unmarshal(body, &batched); err != nil {
+		t.Fatal(err)
+	}
+	if len(batched.Scores) != len(q) || len(batched.Labels) != len(q) {
+		t.Fatalf("got %d scores / %d labels for %d instances", len(batched.Scores), len(batched.Labels), len(q))
+	}
+	for i := range want {
+		if math.Float64bits(batched.Scores[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("batched score %d = %v, in-memory %v", i, batched.Scores[i], want[i])
+		}
+		wantLabel := 1
+		if want[i] < 0 {
+			wantLabel = -1
+		}
+		if batched.Labels[i] != wantLabel {
+			t.Fatalf("label %d = %d, want %d", i, batched.Labels[i], wantLabel)
+		}
+	}
+
+	// One request per instance, exercising the "instance" convenience form.
+	for i, row := range q {
+		resp, body := postPredict(t, hs.URL, map[string]any{"instance": row})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("single predict %d status %d: %s", i, resp.StatusCode, body)
+		}
+		var single PredictResponse
+		if err := json.Unmarshal(body, &single); err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(single.Scores[0]) != math.Float64bits(want[i]) {
+			t.Fatalf("single score %d = %v, in-memory %v", i, single.Scores[0], want[i])
+		}
+	}
+}
+
+// TestConcurrentRequestsAreCoalesced pins the micro-batching behaviour:
+// with one worker holding the flush window open, concurrent single-instance
+// requests score in shared batches, and every client still receives its own
+// correct score.
+func TestConcurrentRequestsAreCoalesced(t *testing.T) {
+	s, hs, art := newTestServer(t, Config{Workers: 1, FlushInterval: 30 * time.Millisecond, MaxBatch: 64})
+	pred, err := model.NewPredictor(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 16
+	q := testQueries(art.Dim(), clients)
+	want, err := pred.Scores(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, body := postPredict(t, hs.URL, PredictRequest{Instances: [][]float64{q[c]}})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, body)
+				return
+			}
+			var pr PredictResponse
+			if err := json.Unmarshal(body, &pr); err != nil {
+				errs <- err
+				return
+			}
+			if math.Float64bits(pr.Scores[0]) != math.Float64bits(want[c]) {
+				errs <- fmt.Errorf("client %d: score %v, want %v", c, pr.Scores[0], want[c])
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.Snapshot()
+	if m.Instances != clients {
+		t.Fatalf("scored %d instances, want %d", m.Instances, clients)
+	}
+	if m.Batches >= clients {
+		t.Errorf("no coalescing happened: %d batches for %d concurrent requests", m.Batches, clients)
+	}
+	if m.MaxBatchSize < 2 {
+		t.Errorf("max batch size %d, expected coalesced batches", m.MaxBatchSize)
+	}
+	if m.TotalBatchMicros <= 0 {
+		t.Errorf("batch latency metrics not recorded: %+v", m)
+	}
+}
+
+// TestOversizedRequestIsChunkedCorrectly pins the scratch-bounding rule: a
+// single request bigger than MaxBatch is scored in MaxBatch-sized chunks,
+// bit-identically to in-memory scoring.
+func TestOversizedRequestIsChunkedCorrectly(t *testing.T) {
+	s, hs, art := newTestServer(t, Config{Immediate: true, MaxBatch: 4})
+	pred, err := model.NewPredictor(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQueries(art.Dim(), 11) // 11 instances, 4-instance chunks
+	want, err := pred.Scores(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postPredict(t, hs.URL, PredictRequest{Instances: q})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Scores) != len(q) {
+		t.Fatalf("got %d scores for %d instances", len(pr.Scores), len(q))
+	}
+	for i := range want {
+		if math.Float64bits(pr.Scores[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("chunked score %d = %v, in-memory %v", i, pr.Scores[i], want[i])
+		}
+	}
+	if got := s.Snapshot().Instances; got != int64(len(q)) {
+		t.Fatalf("metrics counted %d instances, want %d", got, len(q))
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	_, hs, art := newTestServer(t, Config{Immediate: true})
+	dim := art.Dim()
+	ok := make([]float64, dim)
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"wrong dim", `{"instances": [[1, 2]]}`, http.StatusBadRequest},
+		{"empty", `{"instances": []}`, http.StatusBadRequest},
+		{"no instances", `{}`, http.StatusBadRequest},
+		{"nan literal", `{"instances": [[NaN]]}`, http.StatusBadRequest},
+		{"unknown field", `{"rows": [[1]]}`, http.StatusBadRequest},
+		{"not json", `scores please`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+"/predict", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+		})
+	}
+
+	t.Run("get predict", func(t *testing.T) {
+		resp, err := http.Get(hs.URL + "/predict")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status %d, want 405", resp.StatusCode)
+		}
+	})
+
+	t.Run("valid request still accepted", func(t *testing.T) {
+		resp, body := postPredict(t, hs.URL, PredictRequest{Instances: [][]float64{ok}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("rejections counted", func(t *testing.T) {
+		s, _, _ := newTestServer(t, Config{Immediate: true})
+		h := s.Handler()
+		req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader([]byte(`{}`)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if got := s.Snapshot().Rejected; got != 1 {
+			t.Fatalf("rejected counter = %d, want 1", got)
+		}
+	})
+}
+
+func TestScoreBatchAfterCloseErrors(t *testing.T) {
+	art := testArtifact(t)
+	s, err := New(art, Config{Immediate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.ScoreBatch([][]float64{make([]float64, art.Dim())}); err == nil {
+		t.Fatal("ScoreBatch on a closed server did not error")
+	}
+	s.Close() // idempotent
+}

@@ -19,7 +19,8 @@
 // results are bit-identical to sequential ones at every worker count (see
 // internal/parsearch for the determinism guarantee).
 //
-// The examples/ directory contains four runnable programs; cmd/iotml
+// The examples/ directory contains six runnable programs (including the
+// serving lifecycle walkthrough in examples/serving); cmd/iotml
 // regenerates every table, figure and claim of the paper (run `iotml run
 // all`). Subsystem packages live under internal/ and are re-exported here
 // where they form the public surface.
@@ -33,6 +34,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/kernel"
 	"repro/internal/mkl"
+	"repro/internal/model"
 	"repro/internal/partition"
 	"repro/internal/pipeline"
 	"repro/internal/rough"
@@ -119,6 +121,28 @@ type (
 func FromPartition(p Partition, factory kernel.BlockKernelFactory, c kernel.Combiner) Kernel {
 	return kernel.FromPartition(p, factory, c)
 }
+
+// Model persistence and serving: the train-once/serve-forever split.
+// Fit with PartitionDrivenMKL, package the deployment model with
+// FitResult.Artifact, persist it with Artifact.SaveFile, and serve it with
+// internal/serve (or `iotml serve`). Loaded artifacts score bit-identically
+// to the in-memory fit.
+type (
+	// Artifact is a persisted fitted model (versioned .iotml file).
+	Artifact = model.Artifact
+	// Predictor scores feature vectors against an Artifact with reused
+	// batch scratch (one per goroutine).
+	Predictor = model.Predictor
+	// KernelSpec is the serializable description of a kernel composition.
+	KernelSpec = kernel.Spec
+)
+
+// LoadArtifact reads a persisted model artifact from path, verifying its
+// format version and payload checksum.
+func LoadArtifact(path string) (*Artifact, error) { return model.LoadFile(path) }
+
+// NewPredictor validates an artifact and builds its inference engine.
+func NewPredictor(a *Artifact) (*Predictor, error) { return model.NewPredictor(a) }
 
 // Rough sets.
 type (
