@@ -7,7 +7,7 @@ GO ?= go
 # together.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet fmt staticcheck lint test short race bench bench-smoke bench-json serve-smoke ci
+.PHONY: all build vet fmt staticcheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke ci
 
 all: build
 
@@ -40,6 +40,12 @@ lint: vet fmt
 test:
 	$(GO) test ./...
 
+# shuffle re-runs the suite with randomized test and subtest order, so
+# inter-test state dependencies fail loudly instead of hiding behind
+# declaration order. Mirrors the CI test job's shuffle step.
+shuffle:
+	$(GO) test -shuffle=on -short ./...
+
 short:
 	$(GO) test -short ./...
 
@@ -53,10 +59,17 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # serve-smoke drives the model lifecycle end to end: fit a tiny model,
-# start `iotml serve`, and assert /healthz plus golden /predict responses
-# (batched == single == committed fixture). Mirrors the CI serve-smoke job.
+# start `iotml serve`, assert /healthz plus golden /predict responses
+# (batched == single == committed fixture), then SIGTERM the server and
+# assert a clean drain (exit 0). Mirrors the CI serve-smoke job.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# fit-smoke drives the real-data fit path end to end: `iotml fit -data` on
+# the committed tiny CSV, progress-JSONL capture, and a golden check on the
+# selected partition. Mirrors the CI fit-smoke job.
+fit-smoke:
+	bash scripts/fit_smoke.sh
 
 # BENCHTIME tunes the machine-readable benchmark run: the 1x default keeps
 # the CI capture step fast; override with e.g. BENCHTIME=1s for stable
@@ -82,11 +95,11 @@ BENCHJSON_FLAGS ?=
 # (CI runs it as its own step).
 bench-json:
 	@out=$$(mktemp); \
-	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_|BenchmarkScore_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
+	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_|BenchmarkScore_|BenchmarkFit_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
 	$(GO) run ./cmd/benchjson -baseline BENCH_gram.json -threshold 0.20 $(BENCHJSON_FLAGS) < $$out > BENCH_gram.json.tmp \
 		&& mv BENCH_gram.json.tmp BENCH_gram.json && rm -f $$out
 	@echo "wrote BENCH_gram.json"
 
-ci: build lint test race bench-smoke serve-smoke
+ci: build lint test shuffle race bench-smoke serve-smoke fit-smoke

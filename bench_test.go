@@ -6,11 +6,14 @@
 package iotml
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/boolat"
 	"repro/internal/chains"
 	"repro/internal/combinat"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
@@ -497,6 +500,66 @@ func BenchmarkScore_CVSMO_Reference(b *testing.B) {
 
 func BenchmarkScore_Alignment(b *testing.B) {
 	benchScore(b, mkl.Config{Objective: mkl.KernelAlignment, Seed: 1})
+}
+
+// BenchmarkFit_OptionsOverhead measures the same steady-state candidate
+// evaluation as BenchmarkScore_CVRidge, but through the redesigned Fit
+// plumbing: the configuration assembled by functional options, a bound
+// cancellable context polled per candidate, and — because Score itself
+// does not emit (the search loop does, via observe) — one per-candidate
+// progress emission mirrored inline, exactly the Event construction and
+// callback invocation the search performs per scored configuration. Its
+// ns/op and allocs/op must match BenchmarkScore_CVRidge — the options and
+// progress plumbing is free on the hot path (the alloc half is asserted
+// hard by mkl's TestProgressAndContextPlumbingAddsNoAllocs and by
+// cmd/benchjson's regression gate over this snapshot).
+func BenchmarkFit_OptionsOverhead(b *testing.B) {
+	d := parallelBenchData(b)
+	var cfg core.FitConfig
+	var events int64
+	for _, o := range []Option{
+		WithObjective(CVAccuracy),
+		WithLearner(RidgeLearner(1e-2)),
+		WithKernelFamily(RBFKernels(1.0)),
+		WithCombiner(CombineSum),
+		WithFolds(4),
+		WithCVSeed(1),
+		WithProgress(func(Event) { events++ }),
+	} {
+		o(&cfg)
+	}
+	e, err := mkl.NewEvaluator(d, cfg.MKL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.SetContext(ctx)
+	emit := cfg.MKL.Progress
+	p := d.ViewPartition()
+	want, err := e.Score(p) // warm the Gram-block cache and scratch
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ClearScoreCache()
+		s, err := e.Score(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s != want {
+			b.Fatalf("score drifted across iterations: %v != %v", s, want)
+		}
+		emit(Event{
+			Kind: EventCandidateEvaluated, Time: time.Now(),
+			Partition: p, Score: s, Best: p, BestScore: s, Evaluations: i,
+		})
+	}
+	b.StopTimer()
+	if events != int64(b.N) {
+		b.Fatalf("progress callback fired %d times over %d iterations", events, b.N)
+	}
 }
 
 // BenchmarkScore_ServeBatch measures one steady-state inference batch the

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	iotml "repro"
+	"repro/internal/model"
+)
+
+// writeTrainCSV renders a small deterministic workload to a CSV file and
+// returns its path plus the dataset it came from.
+func writeTrainCSV(t *testing.T, dir string) (string, *iotml.Dataset) {
+	t.Helper()
+	cfg := iotml.DefaultBiometricConfig()
+	cfg.N = 40
+	d := iotml.SyntheticBiometric(cfg, iotml.NewRNG(1))
+	path := filepath.Join(dir, "train.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := iotml.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	return path, d
+}
+
+// TestFitFromCSVWithProgressJSONL drives the real-data path end to end
+// through the CLI: fit from a CSV file, capture the progress stream as
+// JSONL, and check both the artifact and the stream.
+func TestFitFromCSVWithProgressJSONL(t *testing.T) {
+	dir := t.TempDir()
+	csvPath, d := writeTrainCSV(t, dir)
+	artPath := filepath.Join(dir, "model.iotml")
+	progPath := filepath.Join(dir, "progress.jsonl")
+	if err := run([]string{"-parallel", "1", "fit", "-o", artPath,
+		"-data", csvPath, "-kernel", "linear",
+		"-views", "face:face_0,face_1;fingerprint:fingerprint_0,fingerprint_1",
+		"-progress-jsonl", progPath}); err != nil {
+		t.Fatalf("fit -data: %v", err)
+	}
+	art, err := model.LoadFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Dim() != d.D() || art.NumTrain() != d.N() {
+		t.Fatalf("artifact is %d features x %d rows, want %d x %d", art.Dim(), art.NumTrain(), d.D(), d.N())
+	}
+	if art.FeatureNames[0] != "face_0" {
+		t.Fatalf("feature names not carried from CSV header: %v", art.FeatureNames[:2])
+	}
+
+	f, err := os.Open(progPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var kinds []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev progressEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) < 4 || kinds[0] != "seed-selected" || kinds[len(kinds)-1] != "fit-finished" {
+		t.Fatalf("unexpected progress stream: %v", kinds)
+	}
+}
+
+// TestFitFromJSONLFile: the JSONL ingestion path through the CLI.
+func TestFitFromJSONLFile(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	rng := iotml.NewRNG(5)
+	for i := 0; i < 30; i++ {
+		y := 1
+		if i%2 == 0 {
+			y = -1
+		}
+		rec := map[string]any{
+			"s0":    float64(y) + rng.NormFloat64()*0.4,
+			"s1":    rng.NormFloat64(),
+			"label": y,
+		}
+		b, _ := json.Marshal(rec)
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(dir, "train.jsonl")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	artPath := filepath.Join(dir, "model.iotml")
+	if err := run([]string{"-parallel", "1", "fit", "-o", artPath,
+		"-data", path, "-kernel", "linear", "-folds", "2"}); err != nil {
+		t.Fatalf("fit -data jsonl: %v", err)
+	}
+	art, err := model.LoadFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Dim() != 2 || art.NumTrain() != 30 {
+		t.Fatalf("artifact is %dx%d", art.Dim(), art.NumTrain())
+	}
+}
+
+func TestParseViews(t *testing.T) {
+	got, err := parseViews("face: f1 ,f2 ; iris:f3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "face" || got[0].Columns[1] != "f2" || got[1].Columns[0] != "f3" {
+		t.Fatalf("parsed %+v", got)
+	}
+	for _, bad := range []string{"noviews", "x:", ":a,b"} {
+		if _, err := parseViews(bad); err == nil {
+			t.Errorf("parseViews(%q) should fail", bad)
+		}
+	}
+}
+
+// TestFitDataErrors: real-data flag errors surface cleanly.
+func TestFitDataErrors(t *testing.T) {
+	dir := t.TempDir()
+	csvPath, _ := writeTrainCSV(t, dir)
+	for _, args := range [][]string{
+		{"fit", "-o", filepath.Join(dir, "x.iotml"), "-data", filepath.Join(dir, "missing.csv")},
+		{"fit", "-o", filepath.Join(dir, "x.iotml"), "-data", csvPath, "-label", "nope"},
+		{"fit", "-o", filepath.Join(dir, "x.iotml"), "-data", csvPath, "-nan", "nope"},
+		{"fit", "-o", filepath.Join(dir, "x.iotml"), "-data", csvPath, "-views", "bad"},
+		{"fit", "-o", filepath.Join(dir, "x.iotml"), "-data", csvPath, "-features", "zz"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

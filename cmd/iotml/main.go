@@ -10,8 +10,11 @@
 //	iotml figure2 [--dot]                  print Figure 2 (or its DOT rendering)
 //	iotml debruijn <n>                     print the de Bruijn SCD of B_n
 //	iotml fit -o model.iotml ...           fit and persist a model artifact
+//	                                       (-data train.csv for real data,
+//	                                       -v / -progress-jsonl for progress)
 //	iotml predict -m model.iotml ...       score JSON instances offline
 //	iotml serve -m model.iotml -addr :8080 serve the batched inference API
+//	                                       (SIGINT/SIGTERM drains, exits 0)
 //
 // -parallel N bounds total concurrency: `run all` spends the budget across
 // experiments (independent experiments run concurrently, their rows
@@ -169,11 +172,16 @@ commands:
   figure2 [--dot]    print the paper's Figure 2 (optionally as GraphViz DOT)
   debruijn <n>       print the de Bruijn symmetric chain decomposition of B_n
   fit -o m.iotml     fit a model and save it as a versioned artifact
-                     (-workload -n -seed -learner -kernel -combiner -search; see fit -h)
+                     (-workload -n -seed -learner -kernel -combiner -search,
+                     or -data train.csv|.jsonl -label -features -views -nan
+                     for real data; -v streams live progress,
+                     -progress-jsonl FILE captures the event stream;
+                     Ctrl-C aborts at the next candidate; see fit -h)
   predict -m m.iotml score JSON instances offline (reads {"instances": [...]}
                      from -in file or stdin, writes {"scores","labels"})
   serve -m m.iotml   serve the batched HTTP inference API on -addr (default
-                     :8080): GET /healthz, GET /model, POST /predict
+                     :8080): GET /healthz, GET /model, POST /predict;
+                     SIGINT/SIGTERM drains in-flight batches and exits 0
 
 flags:
   -parallel N        worker pool size for run all and per-experiment rows

@@ -2,30 +2,39 @@
 // predict scores instances against one offline, serve exposes it as the
 // batched HTTP inference service (internal/serve) — the train-once/
 // serve-forever split on the command line.
+//
+// fit drives the public iotml.Fit API end to end: synthetic workloads or
+// real CSV/JSONL data (-data with a declarative schema via -label,
+// -features, -views, -nan), live progress (-v), a machine-readable
+// progress sink (-progress-jsonl), and context cancellation. serve installs
+// a SIGINT/SIGTERM handler that drains in-flight micro-batches through the
+// same context plumbing before exiting 0.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 
-	"repro/internal/core"
+	iotml "repro"
 	"repro/internal/dataset"
-	"repro/internal/kernel"
-	"repro/internal/kernelmachine"
-	"repro/internal/mkl"
 	"repro/internal/model"
 	"repro/internal/serve"
 )
 
 // buildWorkload generates one of the synthetic faceted workloads,
 // standardized the way the experiments and examples consume them.
-func buildWorkload(workload string, n int, seed int64) (*dataset.Dataset, error) {
+func buildWorkload(workload string, n int, seed int64) (*iotml.Dataset, error) {
 	rng := rand.New(rand.NewSource(seed))
-	var d *dataset.Dataset
+	var d *iotml.Dataset
 	switch workload {
 	case "biometric":
 		cfg := dataset.DefaultBiometricConfig()
@@ -46,53 +55,200 @@ func buildWorkload(workload string, n int, seed int64) (*dataset.Dataset, error)
 	return d, nil
 }
 
-func buildTrainer(learner string, svmC float64, svmSeed int64) (kernelmachine.Trainer, error) {
+// parseViews reads the CLI view syntax "name:col1,col2;name2:col3".
+func parseViews(spec string) ([]iotml.SchemaView, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var views []iotml.SchemaView
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, cols, ok := strings.Cut(part, ":")
+		if !ok || strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("bad view %q (want name:col1,col2)", part)
+		}
+		v := iotml.SchemaView{Name: strings.TrimSpace(name)}
+		for _, c := range strings.Split(cols, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				v.Columns = append(v.Columns, c)
+			}
+		}
+		if len(v.Columns) == 0 {
+			return nil, fmt.Errorf("view %q has no columns", v.Name)
+		}
+		views = append(views, v)
+	}
+	return views, nil
+}
+
+// loadData ingests a CSV or JSONL training file (by extension) under the
+// schema assembled from the CLI flags.
+func loadData(path, label, features, views, nanPolicy string) (*iotml.Dataset, error) {
+	nan, err := dataset.ParseNaNPolicy(nanPolicy)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := parseViews(views)
+	if err != nil {
+		return nil, err
+	}
+	s := iotml.Schema{Label: label, Views: vs, NaN: nan}
+	if features != "" {
+		for _, f := range strings.Split(features, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				s.Features = append(s.Features, f)
+			}
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".jsonl", ".ndjson":
+		return iotml.ReadJSONL(f, s)
+	default:
+		return iotml.ReadCSV(f, s)
+	}
+}
+
+func buildTrainer(learner string, svmC float64, svmSeed int64) (iotml.Learner, error) {
 	switch learner {
 	case "ridge":
-		return kernelmachine.Ridge{Lambda: 1e-2}, nil
+		return iotml.RidgeLearner(1e-2), nil
 	case "svm":
-		return kernelmachine.SVM{C: svmC, Seed: svmSeed}, nil
+		return iotml.SVMLearner(svmC, svmSeed), nil
 	case "perceptron":
-		return kernelmachine.Perceptron{}, nil
+		return iotml.PerceptronLearner(), nil
 	default:
 		return nil, fmt.Errorf("unknown learner %q (ridge|svm|perceptron)", learner)
 	}
 }
 
-func buildFactory(kind string, gamma float64) (kernel.BlockKernelFactory, error) {
+func buildFactory(kind string, gamma float64) (iotml.KernelFamily, error) {
 	switch kind {
 	case "rbf":
-		return kernel.RBFFactory(gamma), nil
+		return iotml.RBFKernels(gamma), nil
 	case "linear":
-		return kernel.LinearFactory(), nil
+		return iotml.LinearKernels(), nil
 	case "norm-rbf":
-		return kernel.NormalizedFactory(kernel.RBFFactory(gamma)), nil
+		return iotml.NormalizedKernels(iotml.RBFKernels(gamma)), nil
 	default:
 		return nil, fmt.Errorf("unknown kernel %q (rbf|linear|norm-rbf)", kind)
 	}
 }
 
-func buildSearch(search string) (core.SearchStrategy, error) {
+func buildSearch(search string) (iotml.SearchStrategy, error) {
 	switch search {
 	case "chain":
-		return core.SearchChain, nil
+		return iotml.SearchChain, nil
 	case "chain-first":
-		return core.SearchChainFirstImprovement, nil
+		return iotml.SearchChainFirstImprovement, nil
 	case "greedy":
-		return core.SearchGreedy, nil
+		return iotml.SearchGreedy, nil
 	case "exhaustive":
-		return core.SearchExhaustive, nil
+		return iotml.SearchExhaustive, nil
 	default:
 		return 0, fmt.Errorf("unknown search %q (chain|chain-first|greedy|exhaustive)", search)
 	}
 }
 
+// progressEvent is the machine-readable JSONL rendering of one fit event.
+type progressEvent struct {
+	Time        string  `json:"time"`
+	Kind        string  `json:"kind"`
+	Partition   string  `json:"partition"`
+	Score       float64 `json:"score"`
+	Best        string  `json:"best"`
+	BestScore   float64 `json:"best_score"`
+	Evaluations int     `json:"evaluations"`
+}
+
+// progressSink assembles the fit's progress callback from the -v and
+// -progress-jsonl flags. cleanup flushes and closes the JSONL file; cb is
+// nil when no progress output was requested.
+func progressSink(verbose bool, jsonlPath string) (cb func(iotml.Event), cleanup func() error, err error) {
+	var sinks []func(iotml.Event)
+	if verbose {
+		sinks = append(sinks, func(ev iotml.Event) {
+			switch ev.Kind {
+			case iotml.EventSeedSelected:
+				fmt.Fprintf(os.Stderr, "fit: seed %v\n", ev.Partition)
+			case iotml.EventCandidateEvaluated:
+				fmt.Fprintf(os.Stderr, "fit: [%3d] %v score=%.4f  best=%.4f %v\n",
+					ev.Evaluations, ev.Partition, ev.Score, ev.BestScore, ev.Best)
+			case iotml.EventBestImproved:
+				fmt.Fprintf(os.Stderr, "fit: [%3d] best improved to %.4f at %v\n",
+					ev.Evaluations, ev.BestScore, ev.Best)
+			case iotml.EventSearchFinished:
+				fmt.Fprintf(os.Stderr, "fit: search finished: best=%.4f %v after %d evaluations\n",
+					ev.BestScore, ev.Best, ev.Evaluations)
+			}
+		})
+	}
+	cleanup = func() error { return nil }
+	if jsonlPath != "" {
+		f, ferr := os.Create(jsonlPath)
+		if ferr != nil {
+			return nil, nil, fmt.Errorf("progress sink: %w", ferr)
+		}
+		enc := json.NewEncoder(f)
+		// A failed write (disk full, quota) must not silently truncate the
+		// stream: remember the first encode error and surface it when the
+		// sink is closed, failing the fit command.
+		var encErr error
+		sinks = append(sinks, func(ev iotml.Event) {
+			if encErr != nil {
+				return
+			}
+			encErr = enc.Encode(progressEvent{
+				Time:        ev.Time.Format("2006-01-02T15:04:05.000000000Z07:00"),
+				Kind:        ev.Kind.String(),
+				Partition:   ev.Partition.String(),
+				Score:       ev.Score,
+				Best:        ev.Best.String(),
+				BestScore:   ev.BestScore,
+				Evaluations: ev.Evaluations,
+			})
+		})
+		cleanup = func() error {
+			closeErr := f.Close()
+			if encErr != nil {
+				return fmt.Errorf("progress sink %s: %w", jsonlPath, encErr)
+			}
+			if closeErr != nil {
+				return fmt.Errorf("progress sink %s: %w", jsonlPath, closeErr)
+			}
+			return nil
+		}
+	}
+	if len(sinks) == 0 {
+		return nil, cleanup, nil
+	}
+	return func(ev iotml.Event) {
+		for _, s := range sinks {
+			s(ev)
+		}
+	}, cleanup, nil
+}
+
 // runFit implements `iotml fit`: run the paper's partition-driven MKL fit
-// on a synthetic workload and persist the deployment model as an artifact.
+// on a synthetic workload or a user-supplied CSV/JSONL file and persist
+// the deployment model as an artifact.
 func runFit(args []string, workers int) error {
 	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
 	out := fs.String("o", "", "output artifact path (required), e.g. model.iotml")
-	workload := fs.String("workload", "biometric", "synthetic workload: biometric|surface")
+	workload := fs.String("workload", "biometric", "synthetic workload: biometric|surface (ignored with -data)")
+	data := fs.String("data", "", "train on a CSV/JSONL file instead of a synthetic workload")
+	label := fs.String("label", "label", "label column for -data")
+	features := fs.String("features", "", "comma-separated feature columns for -data (default: all non-label columns)")
+	views := fs.String("views", "", `facet boundaries for -data: "face:f1,f2;iris:f3"`)
+	nanPolicy := fs.String("nan", "reject", "NaN/missing-cell policy for -data: reject|missing|drop")
+	standardize := fs.Bool("standardize", true, "standardize -data features to zero mean, unit variance")
 	n := fs.Int("n", 0, "instances to generate (0 = workload default)")
 	seed := fs.Int64("seed", 1, "workload generator seed")
 	learner := fs.String("learner", "ridge", "learner: ridge|svm|perceptron")
@@ -102,13 +258,24 @@ func runFit(args []string, workers int) error {
 	combiner := fs.String("combiner", "sum", "block combiner: sum|product")
 	search := fs.String("search", "chain", "lattice search: chain|chain-first|greedy|exhaustive")
 	folds := fs.Int("folds", 0, "CV folds (0 = default 4)")
+	verbose := fs.Bool("v", false, "stream live search progress to stderr")
+	progressJSONL := fs.String("progress-jsonl", "", "write the progress event stream to this file as JSON lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" {
 		return fmt.Errorf("fit: -o output path is required")
 	}
-	d, err := buildWorkload(*workload, *n, *seed)
+	var d *iotml.Dataset
+	var err error
+	if *data != "" {
+		d, err = loadData(*data, *label, *features, *views, *nanPolicy)
+		if err == nil && *standardize {
+			d.Standardize()
+		}
+	} else {
+		d, err = buildWorkload(*workload, *n, *seed)
+	}
 	if err != nil {
 		return fmt.Errorf("fit: %w", err)
 	}
@@ -124,24 +291,40 @@ func runFit(args []string, workers int) error {
 	if err != nil {
 		return fmt.Errorf("fit: %w", err)
 	}
-	comb := kernel.CombineSum
+	comb := iotml.CombineSum
 	if *combiner == "product" {
-		comb = kernel.CombineProduct
+		comb = iotml.CombineProduct
 	} else if *combiner != "sum" {
 		return fmt.Errorf("fit: unknown combiner %q (sum|product)", *combiner)
 	}
-	cfg := core.FitConfig{
-		Search: strategy,
-		MKL: mkl.Config{
-			Factory:     factory,
-			Combiner:    comb,
-			Trainer:     trainer,
-			Folds:       *folds,
-			Parallelism: workers,
-		},
-	}
-	res, err := core.PartitionDrivenMKL(d, cfg)
+	progress, closeSink, err := progressSink(*verbose, *progressJSONL)
 	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	opts := []iotml.Option{
+		iotml.WithStrategy(strategy),
+		iotml.WithKernelFamily(factory),
+		iotml.WithCombiner(comb),
+		iotml.WithLearner(trainer),
+		iotml.WithFolds(*folds),
+		iotml.WithParallelism(workers),
+	}
+	if progress != nil {
+		opts = append(opts, iotml.WithProgress(progress))
+	}
+	// Ctrl-C aborts the search at the next candidate boundary; the partial
+	// best-so-far is reported but not persisted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := iotml.Fit(ctx, d, opts...)
+	if sinkErr := closeSink(); sinkErr != nil && err == nil {
+		err = sinkErr
+	}
+	if err != nil {
+		if res != nil {
+			fmt.Fprintf(os.Stderr, "fit: aborted after %d evaluations; best so far %v (%.4f), not persisted\n",
+				res.Evaluations, res.Best, res.Score)
+		}
 		return fmt.Errorf("fit: %w", err)
 	}
 	art, err := res.Artifact()
@@ -151,7 +334,11 @@ func runFit(args []string, workers int) error {
 	if err := art.SaveFile(*out); err != nil {
 		return fmt.Errorf("fit: %w", err)
 	}
-	fmt.Printf("fit: workload=%s n=%d d=%d seed=%d learner=%s\n", *workload, d.N(), d.D(), *seed, *learner)
+	source := *data
+	if source == "" {
+		source = fmt.Sprintf("workload=%s seed=%d", *workload, *seed)
+	}
+	fmt.Printf("fit: %s n=%d d=%d learner=%s\n", source, d.N(), d.D(), *learner)
 	fmt.Printf("seed partition: %v (attrs %v)\n", res.Seed, res.SeedAttrs)
 	fmt.Printf("best partition: %v  cv-score=%.4f  evaluations=%d\n", res.Best, res.Score, res.Evaluations)
 	fmt.Printf("artifact: %s (%s, %d training rows, %d features)\n", *out, art.Learner, art.NumTrain(), art.Dim())
@@ -216,7 +403,9 @@ func runPredict(args []string) error {
 }
 
 // runServe implements `iotml serve`: load an artifact and serve the
-// batched inference API until the process is stopped.
+// batched inference API until the process is stopped. SIGINT/SIGTERM
+// trigger a graceful shutdown — the listener stops accepting, in-flight
+// micro-batches drain, workers exit — and the process exits 0.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	mpath := fs.String("m", "", "model artifact path (required)")
@@ -225,6 +414,7 @@ func runServe(args []string) error {
 	flush := fs.Duration("flush", 0, "batch flush interval (0 = default 2ms)")
 	workers := fs.Int("workers", 0, "scoring workers (0 = default 2)")
 	queue := fs.Int("queue", 0, "pending request queue depth (0 = default 256)")
+	drain := fs.Duration("drain", 0, "graceful shutdown drain timeout (0 = default 10s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -235,20 +425,25 @@ func runServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	srv, err := serve.New(art, serve.Config{
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flush,
 		Workers:       *workers,
 		QueueDepth:    *queue,
+		DrainTimeout:  *drain,
 	})
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	defer srv.Close()
 	fmt.Printf("serving %s (%s, %d features) on %s\n", *mpath, art.Learner, art.Dim(), *addr)
-	fmt.Printf("endpoints: GET /healthz  GET /model  POST /predict\n")
-	if err := srv.ListenAndServe(*addr); err != nil {
+	fmt.Printf("endpoints: GET /healthz  GET /model  POST /predict  (SIGINT/SIGTERM drains and exits 0)\n")
+	if err := srv.ListenAndServeContext(ctx, *addr); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	m := srv.Snapshot()
+	fmt.Printf("serve: shutdown complete (drained cleanly; %d requests, %d batches served)\n", m.Requests, m.Batches)
 	return nil
 }

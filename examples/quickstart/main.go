@@ -1,15 +1,16 @@
 // Quickstart: generate a faceted IoT workload, run the paper's
-// partition-driven multiple kernel learning end to end, and deploy the
-// selected configuration — all through the public iotml API.
+// partition-driven multiple kernel learning end to end with the
+// context-first Fit API (functional options + live progress), and deploy
+// the selected configuration — all through the public iotml API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	iotml "repro"
-	"repro/internal/mkl"
 )
 
 func main() {
@@ -27,23 +28,36 @@ func main() {
 	fmt.Printf("workload: %d train / %d test instances, %d features in %d facets\n",
 		train.N(), test.N(), train.D(), len(train.Views))
 
-	// 2. Partition-driven MKL: rough-set seeding + symmetric-chain search.
-	res, err := iotml.PartitionDrivenMKL(train, iotml.FitConfig{
-		MKL: mkl.Config{Objective: mkl.CVAccuracy, Folds: 4, Seed: 1},
-	})
+	// 2. Partition-driven MKL: rough-set seeding + symmetric-chain search,
+	// through the context-first Fit API. The context would let a caller
+	// cancel or deadline the search; the progress option streams the
+	// best-so-far state as the chain is walked.
+	improvements := 0
+	res, err := iotml.Fit(context.Background(), train,
+		iotml.WithObjective(iotml.CVAccuracy),
+		iotml.WithFolds(4),
+		iotml.WithCVSeed(1),
+		iotml.WithProgress(func(ev iotml.Event) {
+			if ev.Kind == iotml.EventBestImproved {
+				improvements++
+				fmt.Printf("  progress: best improved to %.3f at %s (%d evaluations)\n",
+					ev.BestScore, ev.Best, ev.Evaluations)
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("rough-set seed K = %v -> seed partition %s\n", res.SeedAttrs, res.Seed)
-	fmt.Printf("selected kernel partition: %s (cv score %.3f, %d evaluations)\n",
-		res.Best, res.Score, res.Evaluations)
+	fmt.Printf("selected kernel partition: %s (cv score %.3f, %d evaluations, %d improvements)\n",
+		res.Best, res.Score, res.Evaluations, improvements)
 
 	// 3. Deploy on held-out data and compare with the single global kernel.
-	accBest, err := iotml.Deploy(train, test, res.Best, mkl.Config{})
+	accBest, err := iotml.Deploy(train, test, res.Best, iotml.MKLConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	accGlobal, err := iotml.Deploy(train, test, iotml.CoarsestPartition(train.D()), mkl.Config{})
+	accGlobal, err := iotml.Deploy(train, test, iotml.CoarsestPartition(train.D()), iotml.MKLConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

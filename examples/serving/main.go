@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -22,13 +23,16 @@ import (
 	"path/filepath"
 
 	iotml "repro"
-	"repro/internal/mkl"
 	"repro/internal/model"
 	"repro/internal/serve"
 )
 
 func main() {
-	// 1. Offline: fit on the faceted biometric workload.
+	// 1. Offline: fit on the faceted biometric workload through the
+	// context-first Fit API. ctx bounds the whole fit and, passed on to
+	// serve.NewContext below, ties the server's lifecycle to the same
+	// cancellation plumbing `iotml serve` drives from SIGINT/SIGTERM.
+	ctx := context.Background()
 	cfg := iotml.DefaultBiometricConfig()
 	cfg.N = 120
 	if os.Getenv("IOTML_EXAMPLE_TINY") != "" {
@@ -36,9 +40,7 @@ func main() {
 	}
 	train := iotml.SyntheticBiometric(cfg, iotml.NewRNG(1))
 	train.Standardize()
-	res, err := iotml.PartitionDrivenMKL(train, iotml.FitConfig{
-		MKL: mkl.Config{Folds: 4, Seed: 1},
-	})
+	res, err := iotml.Fit(ctx, train, iotml.WithFolds(4), iotml.WithCVSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +70,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := serve.New(loaded, serve.Config{Workers: 2})
+	// NewContext ties the server to ctx: cancelling it drains in-flight
+	// micro-batches and stops the workers (what `iotml serve` does on
+	// SIGINT/SIGTERM before exiting 0).
+	srv, err := serve.NewContext(ctx, loaded, serve.Config{Workers: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

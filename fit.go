@@ -1,0 +1,229 @@
+// The context-first fit API: Fit(ctx, data, options...) is the package's
+// primary entry point. Functional options replace the nested FitConfig
+// struct of the original API (which remains as a deprecated shim), the
+// context cancels or deadlines the lattice search at candidate-evaluation
+// granularity, and WithProgress streams the fit's event sequence for live
+// display or machine-readable logging. (Package documentation lives in
+// iotml.go.)
+
+package iotml
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/kernelmachine"
+	"repro/internal/mkl"
+)
+
+// Option configures one aspect of a Fit call. Options are applied in
+// order, so a later option overrides an earlier one; the zero
+// configuration (no options) reproduces the paper's defaults — rough-set
+// seeding with K ≤ 2, chain search with the best-of-chain rule, RBF block
+// kernels under the sum combiner, kernel ridge, 4-fold CV, parallel
+// search across all cores.
+type Option func(*core.FitConfig)
+
+// WithStrategy selects the lattice exploration strategy (SearchChain,
+// SearchChainFirstImprovement, SearchGreedy, SearchExhaustive).
+func WithStrategy(s SearchStrategy) Option {
+	return func(c *core.FitConfig) { c.Search = s }
+}
+
+// WithLearner selects the kernel machine trained inside cross-validation
+// and deployed by FitResult.Artifact (see RidgeLearner, SVMLearner,
+// PerceptronLearner).
+func WithLearner(l Learner) Option {
+	return func(c *core.FitConfig) { c.MKL.Trainer = l }
+}
+
+// WithKernelFamily selects the per-block kernel factory (see RBFKernels,
+// LinearKernels, NormalizedKernels).
+func WithKernelFamily(f KernelFamily) Option {
+	return func(c *core.FitConfig) { c.MKL.Factory = f }
+}
+
+// WithCombiner selects how block kernels aggregate across partition
+// blocks (CombineSum or CombineProduct).
+func WithCombiner(cb Combiner) Option {
+	return func(c *core.FitConfig) { c.MKL.Combiner = cb }
+}
+
+// WithFolds sets the cross-validation fold count (default 4).
+func WithFolds(k int) Option {
+	return func(c *core.FitConfig) { c.MKL.Folds = k }
+}
+
+// WithCVSeed seeds the cross-validation fold split (the fit is
+// deterministic for a fixed seed at every parallelism setting).
+func WithCVSeed(seed int64) Option {
+	return func(c *core.FitConfig) { c.MKL.Seed = seed }
+}
+
+// WithParallelism bounds the search worker pool: 0 (the default) uses all
+// cores, 1 forces the sequential path, n > 1 uses n workers. The selected
+// partition, score, and progress stream are identical at every setting.
+func WithParallelism(n int) Option {
+	return func(c *core.FitConfig) { c.MKL.Parallelism = n }
+}
+
+// WithProgress streams the fit's progress events — seed selection, every
+// candidate evaluated, best-so-far improvements, search and fit completion
+// — to fn. fn runs on the goroutine driving the search, in deterministic
+// order at every worker count; it must return quickly (the search blocks
+// while it runs). The plumbing adds no allocations to the steady-state
+// candidate-evaluation path.
+func WithProgress(fn func(Event)) Option {
+	return func(c *core.FitConfig) { c.MKL.Progress = fn }
+}
+
+// WithObjective selects the candidate-scoring objective: CVAccuracy (the
+// faithful default) or KernelAlignment (the cheap proxy).
+func WithObjective(o Objective) Option {
+	return func(c *core.FitConfig) { c.MKL.Objective = o }
+}
+
+// WithSeedMaxK bounds the size of the rough-set-selected seed block K
+// (default 2).
+func WithSeedMaxK(k int) Option {
+	return func(c *core.FitConfig) { c.SeedMaxK = k }
+}
+
+// WithExactGram forces every Gram matrix through the scalar pairwise
+// path, for strict reproduction runs that must match the paper's
+// arithmetic to the last bit (see mkl.Config.ExactGram).
+func WithExactGram() Option {
+	return func(c *core.FitConfig) { c.MKL.ExactGram = true }
+}
+
+// WithConfig replaces the whole accumulated configuration — the escape
+// hatch for callers migrating from the FitConfig struct API. Options after
+// it apply on top.
+func WithConfig(cfg FitConfig) Option {
+	return func(c *core.FitConfig) { *c = cfg }
+}
+
+// Fit runs the paper's Section III procedure end to end on a faceted
+// dataset: select the seed block K dynamically by rough-set approximation
+// accuracy, form the two-block seed (K, S−K), and explore the partition
+// lattice for the multiple-kernel configuration with the best validated
+// performance.
+//
+// The context bounds the whole fit: cancellation or a deadline aborts the
+// search within one candidate evaluation, drains the worker pool without
+// leaking goroutines, and returns the partial FitResult accumulated so far
+// (best-so-far configuration, score, evaluation count) alongside an error
+// wrapping ctx.Err().
+//
+// With default options Fit is bit-identical to the deprecated
+// PartitionDrivenMKL entry point (asserted in CI across strategies and
+// worker counts).
+func Fit(ctx context.Context, d *Dataset, opts ...Option) (*FitResult, error) {
+	var cfg core.FitConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.Fit(ctx, d, cfg)
+}
+
+// Learners, kernel families, and combiners for the option catalogue.
+type (
+	// Learner trains a kernel machine from a Gram matrix and ±1 labels.
+	Learner = kernelmachine.Trainer
+	// KernelFamily builds the kernel for one block of features.
+	KernelFamily = kernel.BlockKernelFactory
+	// Combiner aggregates block kernels across partition blocks.
+	Combiner = kernel.Combiner
+	// Objective selects the candidate-scoring objective.
+	Objective = mkl.Objective
+)
+
+// Combiners and objectives.
+const (
+	CombineSum      = kernel.CombineSum
+	CombineProduct  = kernel.CombineProduct
+	CVAccuracy      = mkl.CVAccuracy
+	KernelAlignment = mkl.KernelAlignment
+)
+
+// RidgeLearner returns kernel ridge regression with the given
+// regularization strength (values <= 0 select the default 1e-2).
+func RidgeLearner(lambda float64) Learner {
+	if lambda <= 0 {
+		lambda = 1e-2
+	}
+	return kernelmachine.Ridge{Lambda: lambda}
+}
+
+// SVMLearner returns the SMO-trained soft-margin SVM.
+func SVMLearner(c float64, seed int64) Learner {
+	return kernelmachine.SVM{C: c, Seed: seed}
+}
+
+// PerceptronLearner returns the kernel perceptron.
+func PerceptronLearner() Learner { return kernelmachine.Perceptron{} }
+
+// RBFKernels returns the RBF family with gamma = base/|block| (the
+// heuristic that keeps block kernels comparable across block sizes).
+func RBFKernels(gamma float64) KernelFamily { return kernel.RBFFactory(gamma) }
+
+// LinearKernels returns the inner-product family.
+func LinearKernels() KernelFamily { return kernel.LinearFactory() }
+
+// NormalizedKernels wraps a family so every block Gram has a unit
+// diagonal.
+func NormalizedKernels(base KernelFamily) KernelFamily {
+	return kernel.NormalizedFactory(base)
+}
+
+// Progress events.
+type (
+	// Event is one step of a fit's progress stream (see WithProgress).
+	Event = mkl.Event
+	// EventKind discriminates progress events.
+	EventKind = mkl.EventKind
+)
+
+// Progress event kinds.
+const (
+	EventSeedSelected       = mkl.EventSeedSelected
+	EventCandidateEvaluated = mkl.EventCandidateEvaluated
+	EventBestImproved       = mkl.EventBestImproved
+	EventSearchFinished     = mkl.EventSearchFinished
+	EventFitFinished        = mkl.EventFitFinished
+)
+
+// Data ingestion: real workloads enter through a declarative Schema.
+type (
+	// Schema declares how tabular data maps onto a Dataset (label column,
+	// feature order, view boundaries, NaN policy).
+	Schema = dataset.Schema
+	// SchemaView declares one facet: a named group of feature columns.
+	SchemaView = dataset.SchemaView
+	// NaNPolicy selects how non-finite cells are ingested.
+	NaNPolicy = dataset.NaNPolicy
+)
+
+// NaN policies.
+const (
+	NaNReject    = dataset.NaNReject
+	NaNAsMissing = dataset.NaNAsMissing
+	NaNDropRow   = dataset.NaNDropRow
+)
+
+// ReadCSV ingests labeled CSV under the schema: the first record is the
+// header, feature cells must be finite floats (empty/NaN cells go through
+// the schema's NaN policy), labels must be ±1.
+func ReadCSV(r io.Reader, s Schema) (*Dataset, error) { return dataset.ReadCSV(r, s) }
+
+// ReadJSONL ingests labeled JSON-lines data: one object per record
+// mapping column names to numbers.
+func ReadJSONL(r io.Reader, s Schema) (*Dataset, error) { return dataset.ReadJSONL(r, s) }
+
+// WriteCSV renders a dataset as labeled CSV with shortest-round-trip
+// floats, so ReadCSV(WriteCSV(d), d.CSVSchema()) reproduces the dataset —
+// and a fit on it — bit-for-bit.
+func WriteCSV(w io.Writer, d *Dataset) error { return dataset.WriteCSV(w, d) }

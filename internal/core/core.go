@@ -9,7 +9,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/kernel"
@@ -20,9 +23,10 @@ import (
 	"repro/internal/rough"
 )
 
-// FitConfig configures PartitionDrivenMKL. Zero values select the paper's
-// defaults: rough-set accuracy seeding with K up to 2 features, chain
-// search with the best-of-chain rule, 4-fold CV scoring with kernel ridge.
+// FitConfig configures Fit (and its historical alias PartitionDrivenMKL).
+// Zero values select the paper's defaults: rough-set accuracy seeding with
+// K up to 2 features, chain search with the best-of-chain rule, 4-fold CV
+// scoring with kernel ridge.
 //
 // Parallelism is configured through MKL.Parallelism: 0 (the default) uses
 // runtime.GOMAXPROCS(0) workers, 1 forces the sequential strategies, and
@@ -65,7 +69,7 @@ const (
 	SearchExhaustive
 )
 
-// FitResult is the outcome of PartitionDrivenMKL.
+// FitResult is the outcome of Fit (or PartitionDrivenMKL).
 type FitResult struct {
 	// Seed is the rough-set-selected two-block partition (K, S-K).
 	Seed partition.Partition
@@ -94,7 +98,7 @@ type FitResult struct {
 // in memory.
 func (r *FitResult) Artifact() (*model.Artifact, error) {
 	if r.data == nil {
-		return nil, fmt.Errorf("core: fit result was not produced by PartitionDrivenMKL; no training data to package")
+		return nil, fmt.Errorf("core: fit result was not produced by Fit; no training data to package")
 	}
 	k, m, trainer, err := mkl.TrainDeployed(r.data, r.Best, r.cfg.MKL)
 	if err != nil {
@@ -124,11 +128,31 @@ func (r *FitResult) Artifact() (*model.Artifact, error) {
 	return art, nil
 }
 
-// PartitionDrivenMKL runs the paper's Section III procedure end to end on
-// a faceted dataset: select K dynamically by rough-set approximation
-// accuracy, form the two-block seed (K, S-K), and explore the partition
-// lattice for the best multiple-kernel configuration.
-func PartitionDrivenMKL(d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
+// Fit runs the paper's Section III procedure end to end on a faceted
+// dataset, under a context: select K dynamically by rough-set
+// approximation accuracy, form the two-block seed (K, S-K), and explore
+// the partition lattice for the best multiple-kernel configuration.
+//
+// The context bounds the whole fit. Cancellation (or a deadline) is
+// observed between candidate evaluations at every parallelism setting —
+// the search aborts within one candidate evaluation, the worker pool
+// drains without leaking goroutines, and Fit returns the partial FitResult
+// accumulated so far (best-so-far configuration, score, evaluation count)
+// alongside an error wrapping ctx.Err(). A partial result's Best is the
+// zero partition when cancellation landed before any candidate completed.
+//
+// Progress, when cfg.MKL.Progress is set, streams the fit's event
+// sequence: seed selection, one event per candidate evaluated,
+// best-so-far improvements, and search/fit completion markers. The stream
+// is identical at every worker count.
+//
+// With a background context and no progress callback, Fit is bit-identical
+// to the historical PartitionDrivenMKL entry point (asserted by
+// TestFitMatchesPartitionDrivenMKL in CI).
+func Fit(ctx context.Context, d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -138,14 +162,27 @@ func PartitionDrivenMKL(d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
 	if cfg.DiscretizeBins <= 0 {
 		cfg.DiscretizeBins = 3
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seed, attrs, err := mkl.SeedFromRoughSet(d, cfg.DiscretizeBins, cfg.SeedMaxK, cfg.SeedObjective)
 	if err != nil {
 		return nil, fmt.Errorf("core: seeding: %w", err)
 	}
+	emit := func(kind mkl.EventKind, p partition.Partition, score float64, evals int) {
+		if cfg.MKL.Progress != nil {
+			cfg.MKL.Progress(mkl.Event{
+				Kind: kind, Time: time.Now(), Partition: p, Score: score,
+				Best: p, BestScore: score, Evaluations: evals,
+			})
+		}
+	}
+	emit(mkl.EventSeedSelected, seed, 0, 0)
 	e, err := mkl.NewEvaluator(d, cfg.MKL)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	e.SetContext(ctx)
 	// The *Parallel strategies fall back to their sequential counterparts
 	// themselves when the configured parallelism resolves to one worker.
 	var res *mkl.Result
@@ -160,8 +197,24 @@ func PartitionDrivenMKL(d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
 		res, err = mkl.ChainSearchParallel(e, seed, mkl.BestOfChain)
 	}
 	if err != nil {
+		// On cancellation the search hands back everything it finished;
+		// package it as a partial FitResult so callers keep the
+		// best-so-far configuration. Other errors keep failing hard.
+		if res != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return &FitResult{
+				Seed:        seed,
+				SeedAttrs:   attrs,
+				Best:        res.Best,
+				Score:       res.Score,
+				Evaluations: res.Evaluations,
+				data:        d,
+				cfg:         cfg,
+			}, fmt.Errorf("core: search aborted: %w", err)
+		}
 		return nil, fmt.Errorf("core: search: %w", err)
 	}
+	emit(mkl.EventSearchFinished, res.Best, res.Score, res.Evaluations)
+	emit(mkl.EventFitFinished, res.Best, res.Score, res.Evaluations)
 	return &FitResult{
 		Seed:        seed,
 		SeedAttrs:   attrs,
@@ -171,6 +224,14 @@ func PartitionDrivenMKL(d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
 		data:        d,
 		cfg:         cfg,
 	}, nil
+}
+
+// PartitionDrivenMKL runs the paper's Section III procedure end to end on
+// a faceted dataset. It is Fit with a background (never-cancelled)
+// context, retained as the historical entry point; new code should call
+// Fit, which adds cancellation and progress streaming.
+func PartitionDrivenMKL(d *dataset.Dataset, cfg FitConfig) (*FitResult, error) {
+	return Fit(context.Background(), d, cfg)
 }
 
 // Deploy retrains the chosen configuration on train and reports holdout

@@ -26,6 +26,7 @@
 package mkl
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -81,6 +82,14 @@ type Config struct {
 	// concurrent experiment table — can then share block Grams.
 	GramCache *kernel.BlockGramCache
 
+	// Progress, when non-nil, receives the fit's event stream: one
+	// EventCandidateEvaluated per scored configuration plus seed/best/
+	// search markers (see progress.go). The callback runs on the goroutine
+	// driving the search — never on a scratch worker — and in deterministic
+	// candidate order at every parallelism setting. It must be fast: the
+	// search blocks while it runs.
+	Progress func(Event)
+
 	// ExactGram forces every Gram matrix through the scalar pairwise Eval
 	// path, disabling the vectorized block engine, and pins CV evaluation
 	// to the scalar reference loop (per-element fold gathers, allocating
@@ -120,6 +129,11 @@ type Evaluator struct {
 	evals int // cache misses: configurations actually computed
 	calls int // every Score call, cache hits included
 	cache map[string]float64
+
+	// ctx, when non-nil, bounds every candidate evaluation: once it is
+	// done, Score refuses new work with ctx.Err(), so any search over this
+	// evaluator aborts within one candidate evaluation (SetContext).
+	ctx context.Context
 
 	// shared lets scratch evaluators of one parallel search pool their
 	// score cache (nil on a standalone evaluator).
@@ -199,12 +213,30 @@ func NewEvaluator(d *dataset.Dataset, cfg Config) (*Evaluator, error) {
 // workers resolves the configured parallelism to a concrete worker count.
 func (e *Evaluator) workers() int { return parsearch.Workers(e.cfg.Parallelism) }
 
+// SetContext binds ctx to the evaluator: once ctx is done, Score refuses
+// new candidate evaluations with ctx.Err(), so every search strategy over
+// this evaluator — sequential or parallel — returns within one candidate
+// evaluation of the cancellation, carrying the partial result accumulated
+// so far. A nil ctx (the default) disables the check. Scratch clones of a
+// parallel search inherit the binding, and the parallel worker pool
+// additionally stops claiming candidates once ctx is done.
+func (e *Evaluator) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// searchCtx returns the bound context, or a background context when none
+// was bound (the worker pool needs a non-nil context to poll).
+func (e *Evaluator) searchCtx() context.Context {
+	if e.ctx != nil {
+		return e.ctx
+	}
+	return context.Background()
+}
+
 // scratchClone returns a worker-owned evaluator for a parallel search: it
 // shares the dataset, configuration, Gram-block cache, and pooled score
 // cache, but owns its counters and scratch Gram buffers, so concurrent
 // workers never contend on per-candidate allocations.
 func (e *Evaluator) scratchClone(shared *sharedScores) *Evaluator {
-	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, xm: e.xm, folds: e.folds}
+	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, xm: e.xm, folds: e.folds, ctx: e.ctx}
 }
 
 // Evaluations returns the number of kernel configurations actually
@@ -225,8 +257,16 @@ func (e *Evaluator) ResetCount() { e.evals, e.calls = 0, 0 }
 // cache misses without discarding the evaluator's warmed scratch.
 func (e *Evaluator) ClearScoreCache() { clear(e.cache) }
 
-// Score evaluates the kernel configuration induced by p.
+// Score evaluates the kernel configuration induced by p. With a bound
+// context (SetContext), a done context fails the call with ctx.Err()
+// before any work happens; an evaluation already underway is never
+// interrupted.
 func (e *Evaluator) Score(p partition.Partition) (float64, error) {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	if p.N() != e.data.D() {
 		return 0, fmt.Errorf("mkl: partition over %d features, dataset has %d", p.N(), e.data.D())
 	}
@@ -496,6 +536,10 @@ func freeBlockOf(seed partition.Partition) (int, []int) {
 // ExhaustiveCone scores every partition in the lower cone of the seed
 // obtained by refining its largest block in all possible ways (Bell(m)
 // configurations for a free block of m features) and returns the best.
+//
+// Like every search strategy, on error — including cancellation of a
+// context bound with Evaluator.SetContext — it returns the partial Result
+// accumulated so far alongside the error.
 func ExhaustiveCone(e *Evaluator, seed partition.Partition) (*Result, error) {
 	freeBlock, freeElems := freeBlockOf(seed)
 	m := len(freeElems)
@@ -511,13 +555,10 @@ func ExhaustiveCone(e *Evaluator, seed partition.Partition) (*Result, error) {
 		full := coneToFull(seed, freeBlock, freeElems, q)
 		s, err := e.Score(full)
 		if err != nil {
-			return nil, err
+			res.Evaluations = e.Calls() - start
+			return res, err
 		}
-		res.Trace = append(res.Trace, Step{Partition: full, Score: s})
-		if s > res.Score {
-			res.Score = s
-			res.Best = full
-		}
+		e.observe(res, full, s)
 	}
 	res.Evaluations = e.Calls() - start
 	return res, nil
@@ -559,13 +600,10 @@ func ChainSearch(e *Evaluator, seed partition.Partition, rule AscentRule) (*Resu
 		full := coneToFull(seed, freeBlock, ordered, q)
 		s, err := e.Score(full)
 		if err != nil {
-			return nil, err
+			res.Evaluations = e.Calls() - start
+			return res, err
 		}
-		res.Trace = append(res.Trace, Step{Partition: full, Score: s})
-		if s > res.Score {
-			res.Score = s
-			res.Best = full
-		} else if rule == FirstImprovement && i > 0 {
+		if !e.observe(res, full, s) && rule == FirstImprovement && i > 0 {
 			break
 		}
 	}
@@ -638,20 +676,32 @@ func GreedyRefine(e *Evaluator, seed partition.Partition) (*Result, error) {
 	cur := seed
 	curScore, err := e.Score(cur)
 	if err != nil {
-		return nil, err
+		// Nothing evaluated (e.g. cancellation before the seed): an empty
+		// partial keeps the every-search-returns-a-partial contract.
+		return &Result{Score: -1, Evaluations: e.Calls() - start}, err
 	}
 	res := &Result{Best: cur, Score: curScore, Trace: []Step{{cur, curScore}}}
+	e.emit(EventCandidateEvaluated, cur, curScore, res)
 	for {
 		improved := false
 		for _, cand := range cur.LowerCovers() {
 			s, err := e.Score(cand)
 			if err != nil {
-				return nil, err
+				res.Best, res.Score = cur, curScore
+				res.Evaluations = e.Calls() - start
+				return res, err
 			}
 			res.Trace = append(res.Trace, Step{cand, s})
+			// Advance the incumbent before emitting, so the candidate
+			// event carries the post-event best (the Event contract).
 			if s > curScore+1e-12 {
 				cur, curScore = cand, s
+				res.Best, res.Score = cur, curScore
 				improved = true
+			}
+			e.emit(EventCandidateEvaluated, cand, s, res)
+			if improved {
+				e.emit(EventBestImproved, cand, s, res)
 				break // first-improvement descent
 			}
 		}

@@ -75,6 +75,13 @@ func newScorePool(e *Evaluator) *scorePool {
 // speculation never fails a search the sequential strategy would finish.
 // With one worker it scores directly on the parent (the exact sequential
 // path).
+//
+// Cancellation of the parent evaluator's bound context stops the pool from
+// claiming further candidates; candidates the cancellation kept from
+// completing are recorded as ctx.Err() at their index, so the canonical
+// scan surfaces the cancellation exactly where a sequential search would
+// have hit it and everything before it still reduces into the partial
+// result.
 func (p *scorePool) scoreAll(cands []partition.Partition) ([]float64, []error) {
 	var errs []error
 	noteErr := func(i int, err error) {
@@ -96,7 +103,10 @@ func (p *scorePool) scoreAll(cands []partition.Partition) ([]float64, []error) {
 		return scores, errs
 	}
 	var mu sync.Mutex
-	scores, _ := parsearch.Run(len(cands), p.workers, func(worker, index int) (float64, error) {
+	// done[i] is written only by the worker that claimed candidate i and
+	// read after the pool's WaitGroup barrier, so it needs no lock.
+	done := make([]bool, len(cands))
+	scores, runErr := parsearch.RunContext(p.parent.searchCtx(), len(cands), p.workers, func(worker, index int) (float64, error) {
 		s, err := p.scratch[worker].Score(cands[index])
 		if err != nil {
 			mu.Lock()
@@ -104,8 +114,16 @@ func (p *scorePool) scoreAll(cands []partition.Partition) ([]float64, []error) {
 			mu.Unlock()
 			return 0, nil
 		}
+		done[index] = true
 		return s, nil
 	})
+	if runErr != nil {
+		for i := range cands {
+			if !done[i] && errAt(errs, i) == nil {
+				noteErr(i, runErr)
+			}
+		}
+	}
 	return scores, errs
 }
 
@@ -136,18 +154,16 @@ func errAt(errs []error, i int) error {
 // reduceBest folds scores (in canonical candidate order) into res exactly
 // like the sequential searches do — keep the incumbent unless a candidate
 // scores strictly higher — so ties resolve to the earliest candidate
-// independently of which worker finished first. A recorded candidate error
-// is surfaced at the position the sequential scan would have hit it.
-func reduceBest(res *Result, cands []partition.Partition, scores []float64, errs []error) error {
+// independently of which worker finished first, and progress events fire in
+// the same order a sequential search would emit them. A recorded candidate
+// error is surfaced at the position the sequential scan would have hit it,
+// leaving everything before it reduced into res.
+func reduceBest(e *Evaluator, res *Result, cands []partition.Partition, scores []float64, errs []error) error {
 	for i, s := range scores {
 		if err := errAt(errs, i); err != nil {
 			return err
 		}
-		res.Trace = append(res.Trace, Step{Partition: cands[i], Score: s})
-		if s > res.Score {
-			res.Score = s
-			res.Best = cands[i]
-		}
+		e.observe(res, cands[i], s)
 	}
 	return nil
 }
@@ -176,10 +192,11 @@ func ExhaustiveConeParallel(e *Evaluator, seed partition.Partition) (*Result, er
 	scores, errs := pool.scoreAll(cands)
 	pool.finish()
 	res := &Result{Score: -1}
-	if err := reduceBest(res, cands, scores, errs); err != nil {
-		return nil, err
-	}
+	err := reduceBest(e, res, cands, scores, errs)
 	res.Evaluations = e.Calls() - start
+	if err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -209,13 +226,10 @@ func ChainSearchParallel(e *Evaluator, seed partition.Partition, rule AscentRule
 	res := &Result{Score: -1}
 	for i, s := range scores {
 		if err := errAt(errs, i); err != nil {
-			return nil, err
+			res.Evaluations = e.Calls() - start
+			return res, err
 		}
-		res.Trace = append(res.Trace, Step{Partition: cands[i], Score: s})
-		if s > res.Score {
-			res.Score = s
-			res.Best = cands[i]
-		} else if rule == FirstImprovement && i > 0 {
+		if !e.observe(res, cands[i], s) && rule == FirstImprovement && i > 0 {
 			break
 		}
 	}
@@ -242,9 +256,12 @@ func GreedyRefineParallel(e *Evaluator, seed partition.Partition) (*Result, erro
 	cur := seed
 	curScore, err := e.Score(cur)
 	if err != nil {
-		return nil, err
+		// Nothing evaluated (e.g. cancellation before the seed): an empty
+		// partial keeps the every-search-returns-a-partial contract.
+		return &Result{Score: -1, Evaluations: e.Calls() - start}, err
 	}
 	res := &Result{Best: cur, Score: curScore, Trace: []Step{{cur, curScore}}}
+	e.emit(EventCandidateEvaluated, cur, curScore, res)
 	pool := newScorePool(e) // after the seed Score, so the pool sees it
 	for {
 		cands := cur.LowerCovers()
@@ -258,12 +275,21 @@ func GreedyRefineParallel(e *Evaluator, seed partition.Partition) (*Result, erro
 			for i, s := range scores {
 				if err := errAt(errs, i); err != nil {
 					pool.finish()
-					return nil, err
+					res.Best, res.Score = cur, curScore
+					res.Evaluations = e.Calls() - start
+					return res, err
 				}
 				res.Trace = append(res.Trace, Step{cands[off+i], s})
+				// Advance the incumbent before emitting, so the candidate
+				// event carries the post-event best (the Event contract).
 				if s > curScore+1e-12 {
 					cur, curScore = cands[off+i], s
+					res.Best, res.Score = cur, curScore
 					improved = true
+				}
+				e.emit(EventCandidateEvaluated, cands[off+i], s, res)
+				if improved {
+					e.emit(EventBestImproved, cands[off+i], s, res)
 					break // first-improvement descent, in canonical cover order
 				}
 			}

@@ -30,13 +30,10 @@ func DendrogramSearch(e *Evaluator, link cluster.Linkage, rule AscentRule) (*Res
 	for i, p := range den.Chain {
 		s, err := e.Score(p)
 		if err != nil {
-			return nil, err
+			res.Evaluations = e.Calls() - start
+			return res, err
 		}
-		res.Trace = append(res.Trace, Step{Partition: p, Score: s})
-		if s > res.Score {
-			res.Score = s
-			res.Best = p
-		} else if rule == FirstImprovement && i > 0 {
+		if !e.observe(res, p, s) && rule == FirstImprovement && i > 0 {
 			break
 		}
 	}
@@ -76,13 +73,10 @@ func ChainBeamSearch(e *Evaluator, seed partition.Partition, beam int) (*Result,
 			full := coneToFull(seed, freeBlock, rot, q)
 			s, err := e.Score(full)
 			if err != nil {
-				return nil, err
+				res.Evaluations = e.Calls() - start
+				return res, err
 			}
-			res.Trace = append(res.Trace, Step{Partition: full, Score: s})
-			if s > res.Score {
-				res.Score = s
-				res.Best = full
-			}
+			e.observe(res, full, s)
 		}
 	}
 	res.Evaluations = e.Calls() - start

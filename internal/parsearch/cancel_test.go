@@ -1,0 +1,130 @@
+package parsearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitForGoroutines polls until the live goroutine count drops back to (at
+// most) the baseline, failing the test if it does not settle — the
+// goleak-style leak check the determinism suite runs under -race.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d live, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRunContextCancellation cancels mid-run at every worker count the
+// determinism suite uses: the pool must return ctx.Err() promptly (without
+// abandoning an in-flight evaluation mid-way), never deadlock, and leave no
+// worker goroutine behind.
+func TestRunContextCancellation(t *testing.T) {
+	const n = 256
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var evaluated atomic.Int64
+			scores, err := RunContext(ctx, n, workers, func(_, i int) (float64, error) {
+				if evaluated.Add(1) == 10 {
+					cancel() // cancel mid-search, from inside an evaluation
+				}
+				return float64(i + 1), nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			got := evaluated.Load()
+			if got >= n {
+				t.Fatalf("all %d candidates evaluated despite cancellation", n)
+			}
+			// In-flight evaluations finish; their scores land at their index.
+			filled := int64(0)
+			for _, s := range scores {
+				if s != 0 {
+					filled++
+				}
+			}
+			if filled == 0 || filled > got {
+				t.Fatalf("%d scores filled, %d evaluated", filled, got)
+			}
+			waitForGoroutines(t, baseline)
+		})
+	}
+}
+
+// TestRunContextPreCancelled: a context that is already done evaluates
+// nothing.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2, 8} {
+		called := atomic.Int64{}
+		_, err := RunContext(ctx, 64, workers, func(_, i int) (float64, error) {
+			called.Add(1)
+			return float64(i), nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The multi-worker pool may let a worker claim one candidate in the
+		// window before its first poll; it must not get past that.
+		if c := called.Load(); c > int64(workers) {
+			t.Fatalf("workers=%d: %d candidates evaluated on a dead context", workers, c)
+		}
+	}
+}
+
+// TestRunContextErrorBeatsCancellation: a score error recorded before the
+// cancellation keeps the lowest-index-error contract.
+func TestRunContextErrorBeatsCancellation(t *testing.T) {
+	want := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunContext(ctx, 32, 4, func(_, i int) (float64, error) {
+		if i == 3 {
+			cancel()
+			return 0, want
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want the score error", err)
+	}
+}
+
+// TestDoContextCancellation mirrors the Run checks for the job-only wrapper.
+func TestDoContextCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	err := DoContext(ctx, 512, 8, func(_, _ int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() >= 512 {
+		t.Fatal("every job ran despite cancellation")
+	}
+	waitForGoroutines(t, baseline)
+}

@@ -18,12 +18,23 @@
 //     to a sequential scan should record errors per candidate themselves
 //     and scan in index order (internal/mkl does exactly that).
 //
+// # Cancellation
+//
+// RunContext and DoContext observe a context: workers stop claiming new
+// candidates as soon as the context is done and the pool returns ctx.Err()
+// after every in-flight evaluation has finished — cancellation never
+// abandons a running score call mid-way, never deadlocks, and never leaks
+// a goroutine. Scores computed before the cancellation are in the returned
+// slice; a per-candidate error recorded by score still takes precedence
+// over the context error (lowest index first).
+//
 // Workers are identified by a stable id in [0, workers) so callers can give
 // each worker its own scratch state (internal/mkl hands every worker a
 // scratch Evaluator whose Gram buffers are reused across candidates).
 package parsearch
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,20 +50,31 @@ func Workers(n int) int {
 }
 
 // Run evaluates n candidates on a bounded pool of `workers` goroutines and
-// returns their scores in candidate order. score is called as
-// score(worker, index) where worker ∈ [0, workers) identifies the goroutine
-// (stable for scratch-state ownership) and index ∈ [0, n) the candidate.
+// returns their scores in candidate order. It is RunContext with a
+// background (never-cancelled) context.
+func Run(n, workers int, score func(worker, index int) (float64, error)) ([]float64, error) {
+	return RunContext(context.Background(), n, workers, score)
+}
+
+// RunContext evaluates n candidates on a bounded pool of `workers`
+// goroutines and returns their scores in candidate order. score is called
+// as score(worker, index) where worker ∈ [0, workers) identifies the
+// goroutine (stable for scratch-state ownership) and index ∈ [0, n) the
+// candidate.
 //
 // Candidates are claimed dynamically (an atomic cursor), so uneven
 // per-candidate cost load-balances itself. If any call errors, remaining
 // candidates are abandoned as soon as workers observe the failure and the
 // lowest-indexed error among the evaluated candidates is returned (which
 // error was observable can depend on scheduling; see the package comment).
-func Run(n, workers int, score func(worker, index int) (float64, error)) ([]float64, error) {
+// If ctx is done, workers stop claiming candidates and ctx.Err() is
+// returned unless a score error takes precedence; partially computed
+// scores remain in the returned slice at their candidate index.
+func RunContext(ctx context.Context, n, workers int, score func(worker, index int) (float64, error)) ([]float64, error) {
 	scores := make([]float64, n)
 	errs := make([]error, n)
 	if n == 0 {
-		return scores, nil
+		return scores, ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -60,8 +82,12 @@ func Run(n, workers int, score func(worker, index int) (float64, error)) ([]floa
 	}
 	if workers == 1 {
 		// Fast path: no goroutines, exact sequential behavior (stop at the
-		// first error, which is trivially the lowest-index one).
+		// first error, which is trivially the lowest-index one; the context
+		// is polled between candidates, never mid-evaluation).
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return scores, err
+			}
 			s, err := score(0, i)
 			if err != nil {
 				return nil, err
@@ -78,7 +104,7 @@ func Run(n, workers int, score func(worker, index int) (float64, error)) ([]floa
 		go func(worker int) {
 			defer wg.Done()
 			for {
-				if failed.Load() != 0 {
+				if failed.Load() != 0 || ctx.Err() != nil {
 					return
 				}
 				i := int(cursor.Add(1)) - 1
@@ -103,6 +129,9 @@ func Run(n, workers int, score func(worker, index int) (float64, error)) ([]floa
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return scores, err
+	}
 	return scores, nil
 }
 
@@ -112,7 +141,14 @@ func Run(n, workers int, score func(worker, index int) (float64, error)) ([]floa
 // error among the jobs that ran; later jobs are abandoned once a failure
 // is observed).
 func Do(n, workers int, fn func(worker, index int) error) error {
-	_, err := Run(n, workers, func(worker, index int) (float64, error) {
+	return DoContext(context.Background(), n, workers, fn)
+}
+
+// DoContext is Do observing a context, with RunContext's cancellation
+// semantics: done jobs are never interrupted, pending jobs are not started
+// once ctx is done, and ctx.Err() is returned.
+func DoContext(ctx context.Context, n, workers int, fn func(worker, index int) error) error {
+	_, err := RunContext(ctx, n, workers, func(worker, index int) (float64, error) {
 		return 0, fn(worker, index)
 	})
 	return err

@@ -27,9 +27,21 @@
 // Request validation happens at the boundary: wrong dimensionality and
 // non-finite features (NaN/±Inf) are rejected with 400 before anything is
 // enqueued, so scoring workers only ever see clean batches.
+//
+// # Shutdown
+//
+// The server participates in the library-wide context plumbing: NewContext
+// ties the server's lifecycle to a base context, ListenAndServeContext
+// serves until its context is done, and Shutdown drains gracefully — new
+// requests are rejected immediately, every request admitted before the
+// shutdown is scored and answered (in-flight micro-batches complete, the
+// queue empties), and only then do the workers exit. `iotml serve` wires
+// SIGINT/SIGTERM into this path, so an operator stop never drops an
+// accepted prediction.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -59,6 +71,10 @@ type Config struct {
 	QueueDepth int
 	// MaxRequestBytes bounds a /predict body (default 32 MiB).
 	MaxRequestBytes int64
+	// DrainTimeout bounds the graceful half of a shutdown (default 10s):
+	// how long a base-context cancellation or ListenAndServeContext waits
+	// for in-flight micro-batches to drain before force-closing.
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 32 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -111,8 +130,14 @@ type Server struct {
 	wg    sync.WaitGroup
 	start time.Time
 
-	mu      sync.Mutex
-	metrics Metrics
+	mu       sync.Mutex
+	metrics  Metrics
+	draining bool
+	// inflight counts accepted ScoreBatch calls that have not received
+	// their answer yet; Shutdown waits on it to drain the pipeline.
+	// Add happens under mu together with the draining check, so a drain
+	// can never start between a request's admission and its registration.
+	inflight sync.WaitGroup
 }
 
 // job is one enqueued predict request; the worker answers on resp (buffered,
@@ -153,10 +178,35 @@ func New(art *model.Artifact, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the scoring workers; queued and in-flight requests receive
-// errors. The HTTP listener, if any, is the caller's to shut down (see
-// ListenAndServe).
+// NewContext is New bound to a base context: once ctx is done, the server
+// initiates a graceful shutdown on its own — it stops admitting new
+// requests, drains queued and in-flight micro-batches (bounded by
+// Config.DrainTimeout), then stops the scoring workers. Use Shutdown
+// directly for caller-driven lifecycle control.
+func NewContext(ctx context.Context, art *model.Artifact, cfg Config) (*Server, error) {
+	s, err := New(art, cfg)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+			defer cancel()
+			_ = s.Shutdown(drainCtx)
+		}
+	}()
+	return s, nil
+}
+
+// Close force-stops the scoring workers; queued and in-flight requests
+// receive errors. Prefer Shutdown for a graceful drain. The HTTP listener,
+// if any, is the caller's to shut down (see ListenAndServe).
 func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true // no new admissions while workers die
+	s.mu.Unlock()
 	select {
 	case <-s.done:
 		return
@@ -164,6 +214,33 @@ func (s *Server) Close() {
 	}
 	close(s.done)
 	s.wg.Wait()
+}
+
+// Shutdown gracefully stops the server: new requests are rejected
+// immediately (503 over HTTP), every request admitted before the call is
+// scored and answered — in-flight micro-batches drain, the queue empties —
+// and then the scoring workers exit. If ctx expires first the remaining
+// work is abandoned with errors (Close) and ctx.Err() is returned.
+// Shutdown is idempotent and safe to call concurrently with traffic.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		// Every admitted request holds an inflight token until its answer
+		// is delivered, so this barrier IS the drain.
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		s.Close()
+		return nil
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
 }
 
 // worker drains the queue, coalescing requests into scoring batches.
@@ -304,6 +381,37 @@ func (s *Server) ListenAndServe(addr string) error {
 	return hs.ListenAndServe()
 }
 
+// ListenAndServeContext serves the API on addr until ctx is done, then
+// shuts down gracefully: the HTTP listener stops accepting and waits for
+// in-flight handlers, the scoring pipeline drains its micro-batches, and
+// the workers exit — all bounded by Config.DrainTimeout. It returns nil
+// after a clean drain (the signal-driven exit-0 path of `iotml serve`),
+// ctx's error if the drain timed out, or the listener's error if it failed
+// before the shutdown.
+func (s *Server) ListenAndServeContext(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	// Stop the listener first so no new requests race the pipeline drain;
+	// http.Server.Shutdown waits for handlers already inside ScoreBatch.
+	httpErr := hs.Shutdown(drainCtx)
+	drainErr := s.Shutdown(drainCtx)
+	if httpErr != nil {
+		return fmt.Errorf("serve: http shutdown: %w", httpErr)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("serve: drain: %w", drainErr)
+	}
+	return nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -436,7 +544,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 // ScoreBatch enqueues rows for batched scoring and waits for the answer —
 // the transport-free core of /predict. Rows must already be validated.
+// During a graceful shutdown admission stops immediately, but a request
+// admitted before Shutdown always receives its real answer.
 func (s *Server) ScoreBatch(rows [][]float64) ([]float64, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: server shutting down")
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
 	j := &job{rows: rows, resp: make(chan jobResult, 1)}
 	select {
 	case s.queue <- j:

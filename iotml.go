@@ -8,22 +8,42 @@
 //
 // # Quickstart
 //
-//	cfg := iotml.DefaultBiometricConfig()
-//	train := iotml.SyntheticBiometric(cfg, iotml.NewRNG(1))
+//	train, err := iotml.ReadCSV(f, iotml.Schema{Label: "label"})
+//	// ... or train := iotml.SyntheticBiometric(cfg, iotml.NewRNG(1))
 //	train.Standardize()
-//	res, err := iotml.PartitionDrivenMKL(train, iotml.FitConfig{})
+//	res, err := iotml.Fit(ctx, train,
+//		iotml.WithLearner(iotml.RidgeLearner(1e-2)),
+//		iotml.WithProgress(func(ev iotml.Event) { log.Println(ev.Kind, ev.BestScore) }),
+//	)
 //	// res.Best is the selected kernel partition, res.Score its CV value.
 //
+// Fit is the primary entry point: a context-first call configured by
+// functional options (WithStrategy, WithLearner, WithKernelFamily,
+// WithCombiner, WithFolds, WithParallelism, WithProgress, ...). The
+// context cancels or deadlines the fit at candidate-evaluation
+// granularity — a cancelled fit returns its partial best-so-far result
+// with an error wrapping ctx.Err() — and the progress callback streams
+// the search's event sequence in deterministic order at every worker
+// count. Real data enters through ReadCSV/ReadJSONL under a declarative
+// Schema (label column, feature order, view boundaries, NaN policy);
+// WriteCSV round-trips datasets with exact float precision.
+//
 // The lattice search runs on a bounded worker pool sized by
-// FitConfig.MKL.Parallelism (0 = all cores, 1 = sequential); parallel
-// results are bit-identical to sequential ones at every worker count (see
+// WithParallelism (0 = all cores, 1 = sequential); parallel results are
+// bit-identical to sequential ones at every worker count (see
 // internal/parsearch for the determinism guarantee).
+//
+// The previous entry point, PartitionDrivenMKL(d, FitConfig{...}), remains
+// as a deprecated shim over Fit and selects identical configurations
+// bit-for-bit.
 //
 // The examples/ directory contains six runnable programs (including the
 // serving lifecycle walkthrough in examples/serving); cmd/iotml
 // regenerates every table, figure and claim of the paper (run `iotml run
-// all`). Subsystem packages live under internal/ and are re-exported here
-// where they form the public surface.
+// all`), fits models on synthetic or CSV/JSONL data (`iotml fit`), and
+// serves them (`iotml serve`, with signal-driven graceful shutdown).
+// Subsystem packages live under internal/ and are re-exported here where
+// they form the public surface.
 package iotml
 
 import (
@@ -41,11 +61,12 @@ import (
 	"repro/internal/stats"
 )
 
-// Core fit API.
+// Core fit API (Fit itself and its options live in fit.go).
 type (
-	// FitConfig configures PartitionDrivenMKL.
+	// FitConfig is the struct-style configuration consumed by the
+	// deprecated PartitionDrivenMKL shim and by WithConfig.
 	FitConfig = core.FitConfig
-	// FitResult is the outcome of PartitionDrivenMKL.
+	// FitResult is the outcome of Fit.
 	FitResult = core.FitResult
 	// SearchStrategy selects the lattice exploration strategy.
 	SearchStrategy = core.SearchStrategy
@@ -60,6 +81,11 @@ const (
 )
 
 // PartitionDrivenMKL runs the paper's Section III procedure end to end.
+//
+// Deprecated: use Fit, which adds context cancellation, progress
+// streaming, and functional options. Fit(context.Background(), d) with no
+// options selects a bit-identical configuration (a CI-asserted compat
+// contract); FitConfig values migrate via iotml.WithConfig.
 func PartitionDrivenMKL(d *Dataset, cfg FitConfig) (*FitResult, error) {
 	return core.PartitionDrivenMKL(d, cfg)
 }

@@ -105,4 +105,22 @@ if [ -z "$first_batch" ] || [ "$first_batch" != "$first_single" ]; then
   exit 1
 fi
 
-echo "serve-smoke: OK (batched == single == golden)"
+# Graceful shutdown: SIGTERM must drain the pipeline and exit 0 (the
+# signal handler in `iotml serve` routes through Server.Shutdown).
+echo "serve-smoke: asserting clean SIGTERM shutdown"
+kill -TERM "$SERVE_PID"
+shutdown_code=0
+wait "$SERVE_PID" || shutdown_code=$?
+SERVE_PID=""
+if [ "$shutdown_code" != 0 ]; then
+  echo "serve-smoke: SIGTERM exit code $shutdown_code, want 0:" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+if ! grep -q "shutdown complete" "$TMP/serve.log"; then
+  echo "serve-smoke: server log missing the graceful-shutdown marker:" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+
+echo "serve-smoke: OK (batched == single == golden, clean shutdown)"
