@@ -7,7 +7,7 @@ GO ?= go
 # together.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet fmt staticcheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke ci
+.PHONY: all build vet fmt staticcheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke load-smoke ci
 
 all: build
 
@@ -71,6 +71,16 @@ serve-smoke:
 fit-smoke:
 	bash scripts/fit_smoke.sh
 
+# load-smoke saturates the multi-model server across a live hot-swap: a
+# 16-client fleet hammers a throttled model, the artifact is replaced on
+# disk mid-run, and the test asserts zero dropped admitted requests (every
+# 200 is bit-identical to one model generation), well-formed 429/503
+# shedding with Retry-After, and a p99 latency bound. Tag-gated out of the
+# regular suite because it deliberately burns CPU. Mirrors the CI
+# load-smoke job.
+load-smoke:
+	$(GO) test -tags loadsmoke -run TestLoadSmoke -count=1 -v ./internal/serve/
+
 # BENCHTIME tunes the machine-readable benchmark run: the 1x default keeps
 # the CI capture step fast; override with e.g. BENCHTIME=1s for stable
 # numbers worth comparing across commits (the nightly workflow does).
@@ -95,11 +105,11 @@ BENCHJSON_FLAGS ?=
 # (CI runs it as its own step).
 bench-json:
 	@out=$$(mktemp); \
-	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_|BenchmarkScore_|BenchmarkFit_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
+	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_|BenchmarkScore_|BenchmarkFit_|BenchmarkServe_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
 	$(GO) run ./cmd/benchjson -baseline BENCH_gram.json -threshold 0.20 $(BENCHJSON_FLAGS) < $$out > BENCH_gram.json.tmp \
 		&& mv BENCH_gram.json.tmp BENCH_gram.json && rm -f $$out
 	@echo "wrote BENCH_gram.json"
 
-ci: build lint test shuffle race bench-smoke serve-smoke fit-smoke
+ci: build lint test shuffle race bench-smoke serve-smoke fit-smoke load-smoke

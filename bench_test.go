@@ -610,6 +610,80 @@ func BenchmarkScore_ServeBatch(b *testing.B) {
 	}
 }
 
+// serveBenchArtifact builds the same deployable artifact
+// BenchmarkScore_ServeBatch scores, for registering under multiple model
+// ids.
+func serveBenchArtifact(b *testing.B) (*model.Artifact, *dataset.Dataset) {
+	b.Helper()
+	d := parallelBenchData(b)
+	p := d.ViewPartition()
+	k := kernel.FromPartition(p, kernel.RBFFactory(1.0), kernel.CombineSum)
+	m, err := (kernelmachine.Ridge{}).Train(kernel.Gram(k, d.X), d.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	df := m.(kernelmachine.DualForm)
+	spec, err := kernel.ToSpec(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &model.Artifact{
+		LearnerKind: model.LearnerRidge,
+		Partition:   p,
+		KernelSpec:  spec,
+		TrainX:      d.Matrix(),
+		Coeff:       df.Coefficients(),
+		Bias:        df.Bias(),
+	}, d
+}
+
+// benchServeMultiModel measures one end-to-end ScoreBatch request through
+// the multi-model serving stack — admission, per-model routing, the
+// pipeline queue, and a worker scoring an 8-row batch — round-robined
+// across n registered models. Compare _2 with _8 to see what fleet width
+// costs per request (it should be flat: routing is one map lookup plus an
+// atomic pointer load). Immediate flush and one worker per model keep
+// allocs/op deterministic for the bench-json regression gate.
+func benchServeMultiModel(b *testing.B, n int) {
+	art, d := serveBenchArtifact(b)
+	reg := NewServeRegistry()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "m" + string(rune('0'+i))
+		if err := reg.Load(ids[i], art); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := Serve(context.Background(), reg, WithImmediateFlush(), WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	batch := d.X[:8]
+	want, err := srv.ScoreBatch(ids[0], batch) // warm every pipeline's scratch
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range ids[1:] {
+		if _, err := srv.ScoreBatch(id, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores, err := srv.ScoreBatch(ids[i%n], batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if scores[0] != want[0] {
+			b.Fatalf("score drifted across iterations: %v != %v", scores[0], want[0])
+		}
+	}
+}
+
+func BenchmarkServe_MultiModel2(b *testing.B) { benchServeMultiModel(b, 2) }
+func BenchmarkServe_MultiModel8(b *testing.B) { benchServeMultiModel(b, 8) }
+
 func benchCatalogue(b *testing.B, workers int) {
 	// Mirror cmd/iotml's `run all`: the catalogue level gets the whole
 	// budget and rows inside each experiment run sequentially, so the

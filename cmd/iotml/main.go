@@ -15,6 +15,8 @@
 //	iotml predict -m model.iotml ...       score JSON instances offline
 //	iotml serve -m model.iotml -addr :8080 serve the batched inference API
 //	                                       (SIGINT/SIGTERM drains, exits 0)
+//	iotml serve -models dir/ -addr :8080   serve every *.iotml in dir with
+//	                                       hot-reload and per-model routing
 //
 // -parallel N bounds total concurrency: `run all` spends the budget across
 // experiments (independent experiments run concurrently, their rows
@@ -180,8 +182,15 @@ commands:
   predict -m m.iotml score JSON instances offline (reads {"instances": [...]}
                      from -in file or stdin, writes {"scores","labels"})
   serve -m m.iotml   serve the batched HTTP inference API on -addr (default
-                     :8080): GET /healthz, GET /model, POST /predict;
+                     :8080): GET /v1/healthz, GET /v1/models,
+                     POST /v1/models/{id}/predict, GET /v1/metrics, plus the
+                     legacy /healthz /model /predict /metrics aliases;
                      SIGINT/SIGTERM drains in-flight batches and exits 0
+  serve -models dir/ serve every *.iotml artifact in dir (model id = file
+                     name); the directory is polled (-reload, default 2s)
+                     and changed artifacts hot-swap atomically with zero
+                     dropped requests; -default picks the legacy-route
+                     model, -queue/-global-queue bound load shedding
 
 flags:
   -parallel N        worker pool size for run all and per-experiment rows

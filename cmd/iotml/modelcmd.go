@@ -402,48 +402,77 @@ func runPredict(args []string) error {
 	return enc.Encode(serve.PredictResponse{Scores: scores, Labels: model.Labels(scores)})
 }
 
-// runServe implements `iotml serve`: load an artifact and serve the
-// batched inference API until the process is stopped. SIGINT/SIGTERM
-// trigger a graceful shutdown — the listener stops accepting, in-flight
+// runServe implements `iotml serve`: serve one artifact (-m) or a watched
+// directory of artifacts (-models) as the batched multi-model inference
+// API until the process is stopped. With -models, changed files hot-swap
+// atomically while the previous model drains. SIGINT/SIGTERM trigger a
+// graceful shutdown — the listener stops accepting, in-flight
 // micro-batches drain, workers exit — and the process exits 0.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	mpath := fs.String("m", "", "model artifact path (required)")
+	mpath := fs.String("m", "", "model artifact path (serves it as model id \"default\")")
+	modelsDir := fs.String("models", "", "directory of *.iotml artifacts to serve and watch for changes")
+	defaultModel := fs.String("default", "", "model id the legacy /predict and /model routes resolve to (defaults to the only model when one is registered)")
 	addr := fs.String("addr", ":8080", "listen address")
 	maxBatch := fs.Int("max-batch", 0, "max instances per scoring batch (0 = default 64)")
 	flush := fs.Duration("flush", 0, "batch flush interval (0 = default 2ms)")
-	workers := fs.Int("workers", 0, "scoring workers (0 = default 2)")
-	queue := fs.Int("queue", 0, "pending request queue depth (0 = default 256)")
+	workers := fs.Int("workers", 0, "scoring workers per model (0 = default 2)")
+	queue := fs.Int("queue", 0, "per-model pending request queue depth; overflow sheds 429 (0 = default 256)")
+	globalQueue := fs.Int("global-queue", 0, "max in-flight predictions across all models; overflow sheds 503 (0 = default 1024)")
+	reload := fs.Duration("reload", 0, "model directory poll interval for hot-reload (0 = default 2s)")
 	drain := fs.Duration("drain", 0, "graceful shutdown drain timeout (0 = default 10s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *mpath == "" {
-		return fmt.Errorf("serve: -m model path is required")
+	if (*mpath == "") == (*modelsDir == "") {
+		return fmt.Errorf("serve: exactly one of -m (single artifact) or -models (artifact directory) is required")
 	}
-	art, err := model.LoadFile(*mpath)
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
+
+	opts := []serve.Option{
+		serve.WithMaxBatch(*maxBatch),
+		serve.WithFlushInterval(*flush),
+		serve.WithWorkers(*workers),
+		serve.WithQueueDepth(*queue),
+		serve.WithGlobalQueueDepth(*globalQueue),
+		serve.WithDrainTimeout(*drain),
+		serve.WithReloadInterval(*reload),
 	}
+	if *defaultModel != "" {
+		opts = append(opts, serve.WithDefaultModel(*defaultModel))
+	}
+	reg := serve.NewRegistry()
+	if *mpath != "" {
+		if err := reg.LoadFile("default", *mpath); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	} else {
+		opts = append(opts, serve.WithModelDir(*modelsDir))
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv, err := serve.New(art, serve.Config{
-		MaxBatch:      *maxBatch,
-		FlushInterval: *flush,
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		DrainTimeout:  *drain,
-	})
+	srv, err := serve.New(ctx, reg, opts...)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	defer srv.Close()
-	fmt.Printf("serving %s (%s, %d features) on %s\n", *mpath, art.Learner, art.Dim(), *addr)
-	fmt.Printf("endpoints: GET /healthz  GET /model  POST /predict  (SIGINT/SIGTERM drains and exits 0)\n")
+	if *mpath != "" {
+		fmt.Printf("serving %s on %s\n", *mpath, *addr)
+	} else {
+		fmt.Printf("serving %d models from %s on %s (hot-reload on)\n", reg.Len(), *modelsDir, *addr)
+	}
+	for _, id := range reg.IDs() {
+		if info, ok := reg.Info(id); ok {
+			fmt.Printf("  model %s: %s, %d features, fingerprint %s\n", id, info.LearnerKind, info.Dim, info.Fingerprint)
+		}
+	}
+	fmt.Printf("endpoints: GET /v1/healthz  GET /v1/models  GET /v1/models/{id}  POST /v1/models/{id}/predict  GET /v1/metrics\n")
+	fmt.Printf("legacy aliases: GET /healthz  GET /model  POST /predict  GET /metrics  (SIGINT/SIGTERM drains and exits 0)\n")
 	if err := srv.ListenAndServeContext(ctx, *addr); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	m := srv.Snapshot()
-	fmt.Printf("serve: shutdown complete (drained cleanly; %d requests, %d batches served)\n", m.Requests, m.Batches)
+	m := srv.Totals()
+	fmt.Printf("serve: shutdown complete (drained cleanly; %d requests, %d batches, %d shed, %d swaps)\n",
+		m.Requests, m.Batches, m.Shed, m.Swaps)
 	return nil
 }

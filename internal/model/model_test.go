@@ -322,3 +322,63 @@ func TestValidateCatchesInconsistencies(t *testing.T) {
 		t.Error("accepted feature-name count mismatch")
 	}
 }
+
+// TestFingerprintIsStableAndDiscriminating pins the hot-swap detection
+// contract: a fingerprint survives a save/load round trip unchanged,
+// identical artifacts fingerprint equal, and changing any persisted number
+// changes the fingerprint.
+func TestFingerprintIsStableAndDiscriminating(t *testing.T) {
+	a := fitArtifact(t, 1, kernelmachine.Ridge{Lambda: 1e-2}, kernel.CombineSum)
+	fp, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex digits", fp)
+	}
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := loaded.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 != fp {
+		t.Fatalf("fingerprint changed across save/load: %q -> %q", fp, fp2)
+	}
+
+	same := fitArtifact(t, 1, kernelmachine.Ridge{Lambda: 1e-2}, kernel.CombineSum)
+	sameFP, err := same.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameFP != fp {
+		t.Fatalf("identical fits fingerprint differently: %q vs %q", sameFP, fp)
+	}
+
+	other := fitArtifact(t, 2, kernelmachine.Ridge{Lambda: 1e-2}, kernel.CombineSum)
+	otherFP, err := other.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherFP == fp {
+		t.Fatalf("different fits share fingerprint %q", fp)
+	}
+
+	// A one-bit payload perturbation must change the fingerprint.
+	bumped := fitArtifact(t, 1, kernelmachine.Ridge{Lambda: 1e-2}, kernel.CombineSum)
+	bumped.Bias = math.Nextafter(bumped.Bias, math.Inf(1))
+	bumpedFP, err := bumped.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bumpedFP == fp {
+		t.Fatal("bias perturbation did not change the fingerprint")
+	}
+}

@@ -1,0 +1,216 @@
+// Functional options: the serve configuration surface, mirroring the
+// iotml.Fit option idiom so fitting and serving share one API style. The
+// PR 4 Config struct remains as a deprecated shim (Config.Options) that
+// resolves to exactly the same settings — asserted by the options test
+// suite — so existing callers migrate one call site at a time.
+
+package serve
+
+import "time"
+
+// settings is the resolved serving configuration an Option mutates. It is
+// unexported: callers compose Options, the server resolves them once at New
+// and never mutates them afterwards.
+type settings struct {
+	// MaxBatch caps the instances coalesced into one scoring batch.
+	MaxBatch int
+	// FlushInterval is how long a worker waits for more requests after the
+	// first before scoring a partial batch.
+	FlushInterval time.Duration
+	// Immediate disables batching waits: every batch is scored as soon as
+	// the queue is momentarily empty.
+	Immediate bool
+	// Workers is the per-model scoring worker count.
+	Workers int
+	// QueueDepth bounds pending requests per model; beyond it predictions
+	// are shed with 429.
+	QueueDepth int
+	// GlobalQueueDepth bounds in-flight predictions across every model;
+	// beyond it predictions are shed with 503.
+	GlobalQueueDepth int
+	// MaxRequestBytes bounds a predict body.
+	MaxRequestBytes int64
+	// DrainTimeout bounds the graceful half of a shutdown or swap drain.
+	DrainTimeout time.Duration
+	// DefaultModel is the model id legacy unversioned routes resolve to.
+	DefaultModel string
+	// ModelDir, when set, is scanned for *.iotml artifacts at startup and
+	// polled every ReloadInterval for changes (hot-swap).
+	ModelDir string
+	// ReloadInterval is the ModelDir polling period.
+	ReloadInterval time.Duration
+}
+
+func defaultSettings() settings {
+	return settings{
+		MaxBatch:         64,
+		FlushInterval:    2 * time.Millisecond,
+		Workers:          2,
+		QueueDepth:       256,
+		GlobalQueueDepth: 1024,
+		MaxRequestBytes:  32 << 20,
+		DrainTimeout:     10 * time.Second,
+		ReloadInterval:   2 * time.Second,
+	}
+}
+
+// Option configures one aspect of a New call. Options are applied in
+// order, so a later option overrides an earlier one; the zero set of
+// options reproduces the PR 4 defaults (64-instance batches, 2ms flush,
+// 2 workers per model, 256-deep model queues).
+type Option func(*settings)
+
+// WithMaxBatch caps the instances coalesced into one scoring batch
+// (default 64). Values <= 0 keep the default.
+func WithMaxBatch(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.MaxBatch = n
+		}
+	}
+}
+
+// WithFlushInterval sets how long a worker waits for more requests after
+// the first before scoring a partial batch (default 2ms). Values <= 0 keep
+// the default; use WithImmediateFlush to disable coalescing.
+func WithFlushInterval(d time.Duration) Option {
+	return func(s *settings) {
+		if d > 0 {
+			s.FlushInterval = d
+		}
+	}
+}
+
+// WithImmediateFlush disables batching waits: every batch is scored as
+// soon as the queue is momentarily empty. Useful in tests.
+func WithImmediateFlush() Option {
+	return func(s *settings) { s.Immediate = true }
+}
+
+// WithWorkers sets the scoring worker count per model, each owning its
+// predictor and scratch (default 2). Values <= 0 keep the default.
+func WithWorkers(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.Workers = n
+		}
+	}
+}
+
+// WithQueueDepth bounds pending requests per model (default 256); beyond
+// it predictions are shed with 429 and a Retry-After hint. Values <= 0
+// keep the default.
+func WithQueueDepth(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.QueueDepth = n
+		}
+	}
+}
+
+// WithGlobalQueueDepth bounds in-flight predictions across every model
+// (default 1024); beyond it predictions are shed with 503 — the server is
+// saturated as a whole, so retrying another model would not help. Values
+// <= 0 keep the default.
+func WithGlobalQueueDepth(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.GlobalQueueDepth = n
+		}
+	}
+}
+
+// WithMaxRequestBytes bounds a predict request body (default 32 MiB).
+// Values <= 0 keep the default.
+func WithMaxRequestBytes(n int64) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.MaxRequestBytes = n
+		}
+	}
+}
+
+// WithDrainTimeout bounds the graceful half of a shutdown or hot-swap
+// drain (default 10s): how long in-flight micro-batches may take to finish
+// before the old pipeline is force-closed. Values <= 0 keep the default.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(s *settings) {
+		if d > 0 {
+			s.DrainTimeout = d
+		}
+	}
+}
+
+// WithDefaultModel names the model the legacy unversioned routes
+// (/predict, /model) resolve to. Without it, a single-model registry
+// defaults to its one model and a multi-model registry has no default
+// (legacy routes answer 404 until one is configured).
+func WithDefaultModel(id string) Option {
+	return func(s *settings) { s.DefaultModel = id }
+}
+
+// WithModelDir points the server at a directory of *.iotml artifacts:
+// every artifact is loaded at startup (model id = file name minus the
+// extension) and the directory is polled every WithReloadInterval for
+// changed, added, or removed files — a changed artifact is loaded, warmed,
+// and swapped in atomically while the old model drains.
+func WithModelDir(dir string) Option {
+	return func(s *settings) { s.ModelDir = dir }
+}
+
+// WithReloadInterval sets the ModelDir polling period (default 2s). Values
+// <= 0 keep the default.
+func WithReloadInterval(d time.Duration) Option {
+	return func(s *settings) {
+		if d > 0 {
+			s.ReloadInterval = d
+		}
+	}
+}
+
+// Config tunes the serving pipeline. Zero values select the defaults.
+//
+// Deprecated: Config is the PR 4 struct-style configuration. Use New with
+// functional options (WithMaxBatch, WithFlushInterval, ...); Config values
+// migrate via Config.Options, which resolves to identical settings (a
+// CI-asserted equivalence).
+type Config struct {
+	// MaxBatch caps the instances coalesced into one scoring batch
+	// (default 64).
+	MaxBatch int
+	// FlushInterval is how long a worker waits for more requests after the
+	// first before scoring a partial batch (default 2ms). Zero keeps the
+	// default; use Immediate to disable coalescing.
+	FlushInterval time.Duration
+	// Immediate disables batching waits: every batch is scored as soon as
+	// the queue is momentarily empty. Useful in tests.
+	Immediate bool
+	// Workers is the scoring worker count, each owning its predictor and
+	// scratch (default 2).
+	Workers int
+	// QueueDepth bounds pending requests; beyond it predictions are shed
+	// (default 256).
+	QueueDepth int
+	// MaxRequestBytes bounds a predict body (default 32 MiB).
+	MaxRequestBytes int64
+	// DrainTimeout bounds the graceful half of a shutdown (default 10s).
+	DrainTimeout time.Duration
+}
+
+// Options renders the struct configuration as the equivalent option list —
+// the migration path from the PR 4 API. New(ctx, reg, cfg.Options()...)
+// resolves exactly the settings the old New(artifact, cfg) did.
+func (c Config) Options() []Option {
+	opts := []Option{
+		WithMaxBatch(c.MaxBatch),
+		WithFlushInterval(c.FlushInterval),
+		WithWorkers(c.Workers),
+		WithQueueDepth(c.QueueDepth),
+		WithMaxRequestBytes(c.MaxRequestBytes),
+		WithDrainTimeout(c.DrainTimeout),
+	}
+	if c.Immediate {
+		opts = append(opts, WithImmediateFlush())
+	}
+	return opts
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func resolve(opts ...Option) settings {
+	cfg := defaultSettings()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// TestDefaultsMatchPR4 pins the zero-option settings to the PR 4 defaults:
+// existing deployments that migrate to the option API without passing
+// anything must behave identically.
+func TestDefaultsMatchPR4(t *testing.T) {
+	got := resolve()
+	want := settings{
+		MaxBatch:         64,
+		FlushInterval:    2 * time.Millisecond,
+		Workers:          2,
+		QueueDepth:       256,
+		GlobalQueueDepth: 1024,
+		MaxRequestBytes:  32 << 20,
+		DrainTimeout:     10 * time.Second,
+		ReloadInterval:   2 * time.Second,
+	}
+	if got != want {
+		t.Fatalf("defaults = %+v, want %+v", got, want)
+	}
+}
+
+// TestConfigOptionsEquivalence is the migration-shim contract: for any
+// Config value, New(ctx, reg, cfg.Options()...) must resolve exactly the
+// settings the old New(artifact, cfg) did.
+func TestConfigOptionsEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want func(settings) settings // mutation on top of defaults
+	}{
+		{
+			"zero config keeps every default",
+			Config{},
+			func(s settings) settings { return s },
+		},
+		{
+			"full config",
+			Config{
+				MaxBatch:        8,
+				FlushInterval:   7 * time.Millisecond,
+				Workers:         3,
+				QueueDepth:      5,
+				MaxRequestBytes: 1 << 10,
+				DrainTimeout:    3 * time.Second,
+			},
+			func(s settings) settings {
+				s.MaxBatch = 8
+				s.FlushInterval = 7 * time.Millisecond
+				s.Workers = 3
+				s.QueueDepth = 5
+				s.MaxRequestBytes = 1 << 10
+				s.DrainTimeout = 3 * time.Second
+				return s
+			},
+		},
+		{
+			"immediate flag",
+			Config{Immediate: true},
+			func(s settings) settings { s.Immediate = true; return s },
+		},
+		{
+			"partial config fills the rest with defaults",
+			Config{MaxBatch: 16, Workers: 1},
+			func(s settings) settings { s.MaxBatch = 16; s.Workers = 1; return s },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := resolve(tc.cfg.Options()...)
+			want := tc.want(defaultSettings())
+			if got != want {
+				t.Fatalf("Config%+v.Options() resolved %+v, want %+v", tc.cfg, got, want)
+			}
+		})
+	}
+}
+
+// TestOptionsIgnoreNonPositive: zero and negative values keep the default
+// rather than producing a broken (0-worker, 0-depth) server.
+func TestOptionsIgnoreNonPositive(t *testing.T) {
+	def := defaultSettings()
+	for _, n := range []int{0, -1} {
+		got := resolve(
+			WithMaxBatch(n), WithWorkers(n), WithQueueDepth(n), WithGlobalQueueDepth(n),
+			WithMaxRequestBytes(int64(n)),
+			WithFlushInterval(time.Duration(n)), WithDrainTimeout(time.Duration(n)),
+			WithReloadInterval(time.Duration(n)),
+		)
+		if got != def {
+			t.Fatalf("non-positive values (%d) changed settings: %+v, want %+v", n, got, def)
+		}
+	}
+}
+
+// TestOptionsApplyInOrder: a later option overrides an earlier one.
+func TestOptionsApplyInOrder(t *testing.T) {
+	got := resolve(WithMaxBatch(8), WithMaxBatch(32))
+	if got.MaxBatch != 32 {
+		t.Fatalf("MaxBatch = %d, want the later option's 32", got.MaxBatch)
+	}
+}
+
+// TestServingOptions: the new serving-surface options resolve as documented.
+func TestServingOptions(t *testing.T) {
+	got := resolve(
+		WithDefaultModel("alpha"),
+		WithModelDir("/tmp/models"),
+		WithReloadInterval(500*time.Millisecond),
+		WithGlobalQueueDepth(9),
+	)
+	if got.DefaultModel != "alpha" || got.ModelDir != "/tmp/models" ||
+		got.ReloadInterval != 500*time.Millisecond || got.GlobalQueueDepth != 9 {
+		t.Fatalf("resolved %+v", got)
+	}
+}

@@ -1,377 +1,319 @@
 // Package serve is the online half of the train-once/serve-forever split:
-// an HTTP inference server over a persisted model artifact
-// (internal/model). The offline pipeline fits and saves a model; this
-// server loads it once and answers prediction traffic until shutdown.
+// a fleet-scale HTTP inference server over persisted model artifacts
+// (internal/model). The offline pipeline fits and saves models; this
+// server routes prediction traffic to a registry of N models, hot-swaps
+// refreshed artifacts with zero downtime, and sheds load instead of
+// melting.
+//
+// # Architecture
+//
+//	Registry  model store: id → (artifact, fingerprint, pipeline), one
+//	          atomic pointer per model (registry.go)
+//	pipeline  per-model bounded queue + micro-batching worker pool over
+//	          worker-owned model.Predictor scratch (pipeline.go)
+//	watcher   ModelDir poller: stat mtime/size, fingerprint-compare, swap
+//	          (watcher.go)
+//	Server    routing, admission control, HTTP surface, lifecycle
+//	          (serve.go, http.go)
 //
 // # Batching
 //
-// Concurrent /predict requests are micro-batched: a bounded worker pool
-// drains the request queue, coalescing up to Config.MaxBatch instances (or
-// whatever arrives within Config.FlushInterval of the first) into ONE
-// vectorized cross-Gram plus ONE matrix-vector product against
-// worker-owned, reused scratch (model.Predictor). A single request larger
-// than MaxBatch is scored in MaxBatch-sized chunks, so worker scratch
-// stays bounded no matter the request size. Scoring is row-wise
-// independent, so batched and chunked scores are bit-identical to
-// single-request scores — batching changes latency and throughput, never
-// answers.
+// Concurrent predictions per model are micro-batched: the model's worker
+// pool drains its queue, coalescing up to MaxBatch instances (or whatever
+// arrives within FlushInterval of the first) into ONE vectorized
+// cross-Gram plus ONE matrix-vector product against worker-owned reused
+// scratch. Scoring is row-wise independent, so batched and chunked scores
+// are bit-identical to single-request scores — batching changes latency
+// and throughput, never answers.
 //
-// # Endpoints
+// # Hot-swap
 //
-//	GET  /healthz  liveness + serving metrics (request/batch counters,
-//	               per-batch latency)
-//	GET  /model    the loaded artifact's self-description
-//	POST /predict  {"instances": [[...], ...]} → {"scores": [...],
-//	               "labels": [...]}
+// A changed artifact (Registry.Load on a live id, or the ModelDir watcher
+// noticing a rewritten file) is loaded, warmed, and published with one
+// atomic pointer store; the previous pipeline drains through the graceful
+// shutdown machinery with zero dropped admitted requests. Every response
+// is computed wholly by one model generation, and a sequential client sees
+// a single monotonic switchover. See registry.go for the full contract.
 //
-// Request validation happens at the boundary: wrong dimensionality and
-// non-finite features (NaN/±Inf) are rejected with 400 before anything is
-// enqueued, so scoring workers only ever see clean batches.
+// # Load-shedding and admission priorities
+//
+// Each model's queue is bounded (WithQueueDepth): overflow sheds the
+// request with 429 and a Retry-After hint — that model is busy, retry
+// later. In-flight predictions across all models are bounded too
+// (WithGlobalQueueDepth): beyond it requests are shed with 503 — the
+// server as a whole is saturated. Health, model-metadata, and metrics
+// endpoints never enqueue behind predictions: they read copy-on-read
+// snapshots directly, so operators can always see a saturated server
+// struggling instead of timing out with it.
+//
+// # Endpoints (v1)
+//
+//	GET  /v1/healthz              liveness + per-model serving metrics
+//	GET  /v1/models               registered models (id, fingerprint, ...)
+//	GET  /v1/models/{id}          one model's self-description
+//	POST /v1/models/{id}/predict  {"instances": [[...], ...]} →
+//	                              {"scores": [...], "labels": [...]}
+//	GET  /v1/metrics              Prometheus text exposition
+//
+// The PR 4 unversioned routes remain as aliases until the next format
+// bump: /healthz, /model and /predict resolve to the default model
+// (WithDefaultModel), /metrics to /v1/metrics. Errors carry a structured
+// envelope {"error":{"code":...,"message":...}} with stable codes
+// (invalid_request, model_not_found, method_not_allowed, queue_full,
+// overloaded, shutting_down).
 //
 // # Shutdown
 //
-// The server participates in the library-wide context plumbing: NewContext
-// ties the server's lifecycle to a base context, ListenAndServeContext
-// serves until its context is done, and Shutdown drains gracefully — new
-// requests are rejected immediately, every request admitted before the
-// shutdown is scored and answered (in-flight micro-batches complete, the
-// queue empties), and only then do the workers exit. `iotml serve` wires
-// SIGINT/SIGTERM into this path, so an operator stop never drops an
-// accepted prediction.
+// New ties the server to a base context: cancellation initiates a graceful
+// shutdown — admission stops, every admitted request is scored and
+// answered, pipelines drain, workers exit — bounded by WithDrainTimeout.
+// ListenAndServeContext layers the HTTP listener's own drain on top.
+// `iotml serve` wires SIGINT/SIGTERM into this path, so an operator stop
+// never drops an accepted prediction.
 package serve
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
 )
 
-// Config tunes the serving pipeline. Zero values select the defaults.
-type Config struct {
-	// MaxBatch caps the instances coalesced into one scoring batch
-	// (default 64).
-	MaxBatch int
-	// FlushInterval is how long a worker waits for more requests after the
-	// first before scoring a partial batch (default 2ms). Zero keeps the
-	// default; use Immediate to disable coalescing.
-	FlushInterval time.Duration
-	// Immediate disables batching waits: every batch is scored as soon as
-	// the queue is momentarily empty. Useful in tests.
-	Immediate bool
-	// Workers is the scoring worker count, each owning its predictor and
-	// scratch (default 2).
-	Workers int
-	// QueueDepth bounds pending requests; beyond it /predict returns 503
-	// (default 256).
-	QueueDepth int
-	// MaxRequestBytes bounds a /predict body (default 32 MiB).
-	MaxRequestBytes int64
-	// DrainTimeout bounds the graceful half of a shutdown (default 10s):
-	// how long a base-context cancellation or ListenAndServeContext waits
-	// for in-flight micro-batches to drain before force-closing.
-	DrainTimeout time.Duration
-}
-
-func (c Config) withDefaults() Config {
-	if c.MaxBatch <= 0 {
-		c.MaxBatch = 64
-	}
-	if c.FlushInterval <= 0 {
-		c.FlushInterval = 2 * time.Millisecond
-	}
-	if c.Workers <= 0 {
-		c.Workers = 2
-	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 256
-	}
-	if c.MaxRequestBytes <= 0 {
-		c.MaxRequestBytes = 32 << 20
-	}
-	if c.DrainTimeout <= 0 {
-		c.DrainTimeout = 10 * time.Second
-	}
-	return c
-}
-
-// Metrics is a consistent snapshot of the serving counters.
-type Metrics struct {
-	Requests      int64 `json:"requests"`       // accepted /predict requests
-	Rejected      int64 `json:"rejected"`       // 4xx/503 /predict requests
-	Instances     int64 `json:"instances"`      // instances scored
-	Batches       int64 `json:"batches"`        // scoring batches executed
-	MaxBatchSize  int   `json:"max_batch_size"` // largest batch so far
-	LastBatchSize int   `json:"last_batch_size"`
-	// Per-batch scoring latency (assembly through score distribution).
-	LastBatchMicros  int64 `json:"last_batch_us"`
-	MaxBatchMicros   int64 `json:"max_batch_us"`
-	TotalBatchMicros int64 `json:"total_batch_us"`
-}
-
-// MeanBatchMicros returns the average per-batch latency.
-func (m Metrics) MeanBatchMicros() int64 {
-	if m.Batches == 0 {
-		return 0
-	}
-	return m.TotalBatchMicros / m.Batches
-}
-
-// Server batches and serves predictions over one loaded artifact.
+// Server routes prediction traffic to a Registry of models, enforcing
+// global admission bounds and exposing the HTTP surface.
 type Server struct {
-	art   *model.Artifact
-	cfg   Config
-	queue chan *job
-	done  chan struct{}
-	wg    sync.WaitGroup
+	reg   *Registry
+	cfg   settings
 	start time.Time
 
+	// pending counts admitted predictions not yet answered, across all
+	// models — the global saturation gauge.
+	pending atomic.Int64
+
+	reloadErrors atomic.Int64
+	errMu        sync.Mutex
+	lastErr      string
+
 	mu       sync.Mutex
-	metrics  Metrics
 	draining bool
-	// inflight counts accepted ScoreBatch calls that have not received
-	// their answer yet; Shutdown waits on it to drain the pipeline.
-	// Add happens under mu together with the draining check, so a drain
-	// can never start between a request's admission and its registration.
-	inflight sync.WaitGroup
+	closed   bool
+	// watchStop ends the ModelDir poller; watchDone confirms it exited.
+	watchStop chan struct{}
+	watchDone chan struct{}
+	// stamps is the watcher's file-change memory (path → mtime/size),
+	// touched only by the initial scan and the watch goroutine.
+	stamps map[string]fileStamp
 }
 
-// job is one enqueued predict request; the worker answers on resp (buffered,
-// so workers never block on a departed client).
-type job struct {
-	rows [][]float64
-	resp chan jobResult
-}
-
-type jobResult struct {
-	scores []float64
-	err    error
-}
-
-// New validates the artifact, spawns the scoring workers, and returns the
-// server. Callers must Close it to release the workers.
-func New(art *model.Artifact, cfg Config) (*Server, error) {
-	cfg = cfg.withDefaults()
-	if err := art.Validate(); err != nil {
-		return nil, err
+// New resolves the options, loads WithModelDir artifacts into reg, builds
+// one scoring pipeline per registered model, starts the ModelDir watcher
+// (if configured), and ties the server's lifecycle to ctx: once ctx is
+// done the server drains gracefully on its own, bounded by
+// WithDrainTimeout. Callers must Close (or Shutdown) it to release the
+// workers.
+func New(ctx context.Context, reg *Registry, opts ...Option) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("serve: nil registry")
+	}
+	cfg := defaultSettings()
+	for _, o := range opts {
+		o(&cfg)
 	}
 	s := &Server{
-		art:   art,
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
-		done:  make(chan struct{}),
-		start: time.Now(),
+		reg:    reg,
+		cfg:    cfg,
+		start:  time.Now(),
+		stamps: make(map[string]fileStamp),
 	}
-	for w := 0; w < cfg.Workers; w++ {
-		pred, err := model.NewPredictor(art)
-		if err != nil {
-			close(s.done)
+	if cfg.ModelDir != "" {
+		if err := s.scanModelDir(); err != nil {
 			return nil, err
 		}
-		s.wg.Add(1)
-		go s.worker(pred)
 	}
-	return s, nil
-}
-
-// NewContext is New bound to a base context: once ctx is done, the server
-// initiates a graceful shutdown on its own — it stops admitting new
-// requests, drains queued and in-flight micro-batches (bounded by
-// Config.DrainTimeout), then stops the scoring workers. Use Shutdown
-// directly for caller-driven lifecycle control.
-func NewContext(ctx context.Context, art *model.Artifact, cfg Config) (*Server, error) {
-	s, err := New(art, cfg)
-	if err != nil {
+	if err := reg.attach(s); err != nil {
 		return nil, err
 	}
-	go func() {
-		select {
-		case <-s.done:
-		case <-ctx.Done():
+	if s.cfg.DefaultModel == "" {
+		if ids := reg.IDs(); len(ids) == 1 {
+			s.cfg.DefaultModel = ids[0]
+		}
+	} else if reg.lookup(s.cfg.DefaultModel) == nil {
+		return nil, fmt.Errorf("serve: default model %q is not registered", s.cfg.DefaultModel)
+	}
+	if cfg.ModelDir != "" {
+		s.watchStop = make(chan struct{})
+		s.watchDone = make(chan struct{})
+		go s.watch(s.watchStop, s.watchDone)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
 			drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 			defer cancel()
 			_ = s.Shutdown(drainCtx)
-		}
-	}()
+		}()
+	}
 	return s, nil
 }
 
-// Close force-stops the scoring workers; queued and in-flight requests
-// receive errors. Prefer Shutdown for a graceful drain. The HTTP listener,
-// if any, is the caller's to shut down (see ListenAndServe).
-func (s *Server) Close() {
-	s.mu.Lock()
-	s.draining = true // no new admissions while workers die
-	s.mu.Unlock()
-	select {
-	case <-s.done:
-		return
-	default:
+// NewWithConfig serves one artifact under the model id "default" with the
+// PR 4 struct configuration — the bridge for callers of the old
+// New(artifact, Config) constructor.
+//
+// Deprecated: build a Registry and call New with functional options;
+// Config values migrate via Config.Options.
+func NewWithConfig(ctx context.Context, art *model.Artifact, cfg Config) (*Server, error) {
+	reg := NewRegistry()
+	if err := reg.Load("default", art); err != nil {
+		return nil, err
 	}
-	close(s.done)
-	s.wg.Wait()
+	return New(ctx, reg, cfg.Options()...)
 }
 
-// Shutdown gracefully stops the server: new requests are rejected
-// immediately (503 over HTTP), every request admitted before the call is
-// scored and answered — in-flight micro-batches drain, the queue empties —
-// and then the scoring workers exit. If ctx expires first the remaining
-// work is abandoned with errors (Close) and ctx.Err() is returned.
-// Shutdown is idempotent and safe to call concurrently with traffic.
+// Registry returns the server's model registry — the handle for runtime
+// model management (Load to hot-swap, Remove to retire).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// DefaultModel returns the model id the legacy unversioned routes resolve
+// to ("" when no default is configured).
+func (s *Server) DefaultModel() string { return s.cfg.DefaultModel }
+
+// Snapshot returns a consistent copy of every model's metrics, keyed by
+// model id. Each per-model snapshot is copied under that model's metrics
+// lock, so scrapes racing a hot-swap never observe torn counters.
+func (s *Server) Snapshot() map[string]Metrics { return s.reg.Snapshot() }
+
+// SnapshotModel returns one model's metrics snapshot.
+func (s *Server) SnapshotModel(id string) (Metrics, bool) {
+	e := s.reg.lookup(id)
+	if e == nil {
+		return Metrics{}, false
+	}
+	return e.metrics.Snapshot(), true
+}
+
+// Totals aggregates every model's counters into one Metrics value (sums
+// for counters, maxima for the max fields, zero for the last-batch
+// fields) — the fleet-level view the CLI prints at exit.
+func (s *Server) Totals() Metrics {
+	var t Metrics
+	for _, m := range s.reg.Snapshot() {
+		t.Requests += m.Requests
+		t.Rejected += m.Rejected
+		t.Shed += m.Shed
+		t.Drained += m.Drained
+		t.Swaps += m.Swaps
+		t.Instances += m.Instances
+		t.Batches += m.Batches
+		t.TotalBatchMicros += m.TotalBatchMicros
+		if m.MaxBatchSize > t.MaxBatchSize {
+			t.MaxBatchSize = m.MaxBatchSize
+		}
+		if m.MaxBatchMicros > t.MaxBatchMicros {
+			t.MaxBatchMicros = m.MaxBatchMicros
+		}
+	}
+	return t
+}
+
+// ScoreBatch routes rows to the named model's pipeline and waits for the
+// answer — the transport-free core of /v1/models/{id}/predict. Rows must
+// already be validated (the HTTP boundary does). Shed and refused work
+// comes back as ErrQueueFull, ErrOverloaded, ErrShuttingDown, or
+// ErrModelNotFound; a request that races a hot-swap retries on the
+// published successor, so admitted traffic never observes the swap.
+func (s *Server) ScoreBatch(id string, rows [][]float64) ([]float64, error) {
+	if s.isDraining() {
+		return nil, ErrShuttingDown
+	}
+	e := s.reg.lookup(id)
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, id)
+	}
+	// Global admission: bound in-flight predictions across every model.
+	if s.pending.Add(1) > int64(s.cfg.GlobalQueueDepth) {
+		s.pending.Add(-1)
+		e.metrics.countShed()
+		return nil, fmt.Errorf("%w (%d in-flight predictions)", ErrOverloaded, s.cfg.GlobalQueueDepth)
+	}
+	defer s.pending.Add(-1)
+
+	for {
+		st := e.state.Load()
+		if st == nil || st.pipe == nil {
+			return nil, fmt.Errorf("%w: %q", ErrModelNotFound, id)
+		}
+		// Dim integrity inside the swap window: rows were validated against
+		// the dim the caller observed, which a concurrent swap may have
+		// changed. The cheap length check here keeps a wrong-shape row from
+		// silently corrupting the new pipeline's batch matrix.
+		dim := st.art.Dim()
+		for i, row := range rows {
+			if len(row) != dim {
+				return nil, fmt.Errorf("%w %d: has %d features, model wants %d", ErrInvalidInstance, i, len(row), dim)
+			}
+		}
+		scores, err := st.pipe.ScoreBatch(rows)
+		if errors.Is(err, errPipeDraining) {
+			if e.state.Load() != st {
+				continue // hot-swapped under us; retry on the successor
+			}
+			return nil, ErrShuttingDown
+		}
+		if errors.Is(err, ErrQueueFull) {
+			e.metrics.countShed()
+			return nil, err
+		}
+		if err == nil {
+			e.metrics.countAccepted()
+		}
+		return scores, err
+	}
+}
+
+// Shutdown gracefully stops the server: the watcher exits, new requests
+// are rejected immediately (503 over HTTP), every request admitted before
+// the call is scored and answered — in-flight micro-batches drain, queues
+// empty — and then the scoring workers exit. If ctx expires first the
+// remaining work is abandoned with errors and ctx.Err() is returned.
+// Idempotent and safe to call concurrently with traffic.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
-	drained := make(chan struct{})
-	go func() {
-		// Every admitted request holds an inflight token until its answer
-		// is delivered, so this barrier IS the drain.
-		s.inflight.Wait()
-		close(drained)
-	}()
-	select {
-	case <-drained:
-		s.Close()
-		return nil
-	case <-ctx.Done():
-		s.Close()
-		return ctx.Err()
-	}
+	s.stopWatcher()
+	err := s.reg.shutdownAll(ctx)
+	s.markClosed()
+	return err
 }
 
-// worker drains the queue, coalescing requests into scoring batches.
-func (s *Server) worker(pred *model.Predictor) {
-	defer s.wg.Done()
-	var scoreBuf, chunkBuf []float64
-	rows := make([][]float64, 0, s.cfg.MaxBatch)
-	for {
-		var first *job
-		select {
-		case <-s.done:
-			return
-		case first = <-s.queue:
-		}
-		began := time.Now()
-		batch := []*job{first}
-		total := len(first.rows)
-		// Coalesce whatever else arrives before the flush deadline, up to
-		// MaxBatch instances.
-		var timer *time.Timer
-		if !s.cfg.Immediate {
-			timer = time.NewTimer(s.cfg.FlushInterval)
-		}
-	coalesce:
-		for total < s.cfg.MaxBatch {
-			if s.cfg.Immediate {
-				select {
-				case j := <-s.queue:
-					batch = append(batch, j)
-					total += len(j.rows)
-				default:
-					break coalesce
-				}
-				continue
-			}
-			select {
-			case <-s.done:
-				timer.Stop()
-				for _, j := range batch {
-					j.resp <- jobResult{err: fmt.Errorf("serve: server closed")}
-				}
-				return
-			case j := <-s.queue:
-				batch = append(batch, j)
-				total += len(j.rows)
-			case <-timer.C:
-				break coalesce
-			}
-		}
-		if timer != nil {
-			timer.Stop()
-		}
-
-		rows = rows[:0]
-		for _, j := range batch {
-			rows = append(rows, j.rows...)
-		}
-		// Score in MaxBatch-sized chunks: coalescing bounds how many JOBS
-		// join a batch, but a single oversized request can exceed MaxBatch
-		// on its own — chunking keeps the worker's cross-Gram scratch
-		// bounded at MaxBatch×NumTrain regardless of request size (scoring
-		// is row-wise independent, so chunked scores are bit-identical).
-		// Rows were validated at the HTTP boundary, so the prevalidated
-		// entry point skips the redundant per-row scan.
-		scoreBuf = scoreBuf[:0]
-		var err error
-		for start := 0; start < len(rows) && err == nil; start += s.cfg.MaxBatch {
-			end := min(start+s.cfg.MaxBatch, len(rows))
-			chunkBuf, err = pred.ScoresIntoPrevalidated(chunkBuf, rows[start:end])
-			scoreBuf = append(scoreBuf, chunkBuf...)
-		}
-		if err != nil {
-			// Only a malformed hand-enqueued job can reach this. Fail the
-			// whole batch loudly.
-			for _, j := range batch {
-				j.resp <- jobResult{err: err}
-			}
-			continue
-		}
-		off := 0
-		for _, j := range batch {
-			// Copy out of the worker's reused score scratch.
-			out := make([]float64, len(j.rows))
-			copy(out, scoreBuf[off:off+len(j.rows)])
-			off += len(j.rows)
-			j.resp <- jobResult{scores: out}
-		}
-		elapsed := time.Since(began).Microseconds()
-
-		s.mu.Lock()
-		s.metrics.Batches++
-		s.metrics.Instances += int64(total)
-		s.metrics.LastBatchSize = total
-		if total > s.metrics.MaxBatchSize {
-			s.metrics.MaxBatchSize = total
-		}
-		s.metrics.LastBatchMicros = elapsed
-		s.metrics.TotalBatchMicros += elapsed
-		if elapsed > s.metrics.MaxBatchMicros {
-			s.metrics.MaxBatchMicros = elapsed
-		}
-		s.mu.Unlock()
-	}
+// Close force-stops the watcher and every pipeline; queued and in-flight
+// requests receive errors. Prefer Shutdown for a graceful drain. The HTTP
+// listener, if any, is the caller's to shut down (see ListenAndServe).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stopWatcher()
+	s.reg.closeAll()
+	s.markClosed()
 }
 
-// Snapshot returns the current metrics.
-func (s *Server) Snapshot() Metrics {
+func (s *Server) isDraining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.metrics
+	return s.draining
 }
 
-func (s *Server) countAccepted() {
+func (s *Server) markClosed() {
 	s.mu.Lock()
-	s.metrics.Requests++
+	s.closed = true
 	s.mu.Unlock()
-}
-
-func (s *Server) countRejected() {
-	s.mu.Lock()
-	s.metrics.Rejected++
-	s.mu.Unlock()
-}
-
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/model", s.handleModel)
-	mux.HandleFunc("/predict", s.handlePredict)
-	return mux
 }
 
 // ListenAndServe serves the API on addr until the http.Server errors. It is
@@ -383,8 +325,8 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // ListenAndServeContext serves the API on addr until ctx is done, then
 // shuts down gracefully: the HTTP listener stops accepting and waits for
-// in-flight handlers, the scoring pipeline drains its micro-batches, and
-// the workers exit — all bounded by Config.DrainTimeout. It returns nil
+// in-flight handlers, the scoring pipelines drain their micro-batches, and
+// the workers exit — all bounded by WithDrainTimeout. It returns nil
 // after a clean drain (the signal-driven exit-0 path of `iotml serve`),
 // ctx's error if the drain timed out, or the listener's error if it failed
 // before the shutdown.
@@ -412,162 +354,17 @@ func (s *Server) ListenAndServeContext(ctx context.Context, addr string) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v) // the connection is the only failure mode left
+// recordReloadError notes a failed artifact reload for /healthz and the
+// metrics exposition.
+func (s *Server) recordReloadError(err error) {
+	s.reloadErrors.Add(1)
+	s.errMu.Lock()
+	s.lastErr = err.Error()
+	s.errMu.Unlock()
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
-type healthzResponse struct {
-	Status   string  `json:"status"`
-	Learner  string  `json:"learner"`
-	UptimeMS int64   `json:"uptime_ms"`
-	Workers  int     `json:"workers"`
-	MaxBatch int     `json:"max_batch"`
-	Metrics  Metrics `json:"metrics"`
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
-		return
-	}
-	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:   "ok",
-		Learner:  s.art.LearnerKind,
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Workers:  s.cfg.Workers,
-		MaxBatch: s.cfg.MaxBatch,
-		Metrics:  s.Snapshot(),
-	})
-}
-
-type modelResponse struct {
-	FormatVersion int      `json:"format_version"`
-	LearnerKind   string   `json:"learner_kind"`
-	Learner       string   `json:"learner,omitempty"`
-	Partition     string   `json:"partition"`
-	Kernel        string   `json:"kernel"`
-	Dim           int      `json:"dim"`
-	NumTrain      int      `json:"n_train"`
-	FeatureNames  []string `json:"feature_names,omitempty"`
-}
-
-func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "model is GET-only")
-		return
-	}
-	k, err := s.art.KernelSpec.FromSpec()
-	if err != nil { // validated at New; unreachable in practice
-		writeError(w, http.StatusInternalServerError, "kernel spec: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, modelResponse{
-		FormatVersion: model.FormatVersion,
-		LearnerKind:   s.art.LearnerKind,
-		Learner:       s.art.Learner,
-		Partition:     s.art.Partition.String(),
-		Kernel:        k.String(),
-		Dim:           s.art.Dim(),
-		NumTrain:      s.art.NumTrain(),
-		FeatureNames:  s.art.FeatureNames,
-	})
-}
-
-// PredictRequest is the /predict body. Instance is a single-row
-// convenience; when both are present Instance is scored after Instances.
-type PredictRequest struct {
-	Instances [][]float64 `json:"instances"`
-	Instance  []float64   `json:"instance,omitempty"`
-}
-
-// PredictResponse answers /predict: one decision score and one ±1 label
-// per instance, in request order.
-type PredictResponse struct {
-	Scores []float64 `json:"scores"`
-	Labels []int     `json:"labels"`
-}
-
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "predict is POST-only")
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var req PredictRequest
-	if err := dec.Decode(&req); err != nil {
-		s.countRejected()
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
-	}
-	rows := req.Instances
-	if req.Instance != nil {
-		rows = append(rows, req.Instance)
-	}
-	if len(rows) == 0 {
-		s.countRejected()
-		writeError(w, http.StatusBadRequest, "request has no instances")
-		return
-	}
-	// Boundary validation: dimensionality and finiteness, per instance,
-	// before anything reaches the scoring queue. (JSON cannot carry NaN or
-	// ±Inf literals, but this also guards hand-built requests routed
-	// through ScoreBatch.)
-	for i, row := range rows {
-		if err := model.ValidateRow(s.art.Dim(), row); err != nil {
-			s.countRejected()
-			writeError(w, http.StatusBadRequest, "instance %d: %v", i, err)
-			return
-		}
-	}
-	scores, err := s.ScoreBatch(rows)
-	if err != nil {
-		s.countRejected()
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	s.countAccepted()
-	writeJSON(w, http.StatusOK, PredictResponse{Scores: scores, Labels: model.Labels(scores)})
-}
-
-// ScoreBatch enqueues rows for batched scoring and waits for the answer —
-// the transport-free core of /predict. Rows must already be validated.
-// During a graceful shutdown admission stops immediately, but a request
-// admitted before Shutdown always receives its real answer.
-func (s *Server) ScoreBatch(rows [][]float64) ([]float64, error) {
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: server shutting down")
-	}
-	s.inflight.Add(1)
-	s.mu.Unlock()
-	defer s.inflight.Done()
-
-	j := &job{rows: rows, resp: make(chan jobResult, 1)}
-	select {
-	case s.queue <- j:
-	case <-s.done:
-		return nil, fmt.Errorf("serve: server closed")
-	default:
-		return nil, fmt.Errorf("serve: queue full (%d pending requests)", s.cfg.QueueDepth)
-	}
-	select {
-	case res := <-j.resp:
-		return res.scores, res.err
-	case <-s.done:
-		return nil, fmt.Errorf("serve: server closed")
-	}
+func (s *Server) lastReloadError() string {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
 }

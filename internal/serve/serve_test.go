@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -23,7 +24,15 @@ import (
 // search — the serving layer is agnostic to how the fit was selected).
 func testArtifact(t *testing.T) *model.Artifact {
 	t.Helper()
-	rng := rand.New(rand.NewSource(11))
+	return testArtifactSeed(t, 11)
+}
+
+// testArtifactSeed fits a model from a seed-determined dataset; different
+// seeds yield models with different coefficients (and so different scores
+// and fingerprints) — the raw material of the hot-swap tests.
+func testArtifactSeed(t *testing.T, seed int64) *model.Artifact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
 	cfg := dataset.BiometricConfig{N: 36, FacePerDim: 2, Noise: 0.8, IrrelevantSD: 1, NoiseFeatures: 2}
 	d := dataset.SyntheticBiometric(cfg, rng)
 	d.Standardize()
@@ -52,10 +61,16 @@ func testArtifact(t *testing.T) *model.Artifact {
 	}
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *model.Artifact) {
+// newTestServer builds a single-model server (id "default", auto-resolved
+// as the default model) plus an httptest listener over its Handler.
+func newTestServer(t *testing.T, opts ...Option) (*Server, *httptest.Server, *model.Artifact) {
 	t.Helper()
 	art := testArtifact(t)
-	s, err := New(art, cfg)
+	reg := NewRegistry()
+	if err := reg.Load("default", art); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), reg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,13 +82,13 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *model.
 	return s, hs, art
 }
 
-func postPredict(t *testing.T, url string, body any) (*http.Response, []byte) {
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	t.Helper()
 	raw, err := json.Marshal(body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(raw))
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,6 +98,21 @@ func postPredict(t *testing.T, url string, body any) (*http.Response, []byte) {
 		t.Fatal(err)
 	}
 	return resp, buf.Bytes()
+}
+
+func postPredict(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	return postJSON(t, url+"/predict", body)
+}
+
+// decodeError unpacks the structured error envelope.
+func decodeError(t *testing.T, body []byte) errorDetail {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("response is not an error envelope: %v: %s", err, body)
+	}
+	return env.Error
 }
 
 func testQueries(dim, n int) [][]float64 {
@@ -97,58 +127,123 @@ func testQueries(dim, n int) [][]float64 {
 	return out
 }
 
-func TestHealthzAndModelEndpoints(t *testing.T) {
-	_, hs, art := newTestServer(t, Config{Immediate: true})
-
-	resp, err := http.Get(hs.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", resp.StatusCode)
-	}
-	var hz healthzResponse
-	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
-		t.Fatal(err)
-	}
-	if hz.Status != "ok" || hz.Learner != model.LearnerRidge {
-		t.Fatalf("healthz = %+v", hz)
-	}
-
-	mresp, err := http.Get(hs.URL + "/model")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mresp.Body.Close()
-	var mi modelResponse
-	if err := json.NewDecoder(mresp.Body).Decode(&mi); err != nil {
-		t.Fatal(err)
-	}
-	if mi.Dim != art.Dim() || mi.NumTrain != art.NumTrain() || mi.FormatVersion != model.FormatVersion {
-		t.Fatalf("model info = %+v", mi)
-	}
-	if mi.Partition != art.Partition.String() {
-		t.Fatalf("partition %q, want %q", mi.Partition, art.Partition)
-	}
-}
-
-// TestPredictMatchesInMemoryScoresBitIdentically is the serving half of the
-// round-trip acceptance property: /predict answers — batched or single —
-// are bit-identical to scoring the artifact in memory.
-func TestPredictMatchesInMemoryScoresBitIdentically(t *testing.T) {
-	_, hs, art := newTestServer(t, Config{Immediate: true})
+// offlineScores scores q against art in memory — the reference the serving
+// answers must match bit-for-bit.
+func offlineScores(t *testing.T, art *model.Artifact, q [][]float64) []float64 {
+	t.Helper()
 	pred, err := model.NewPredictor(art)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := testQueries(art.Dim(), 9)
-	want, err := pred.Scores(q)
+	scores, err := pred.Scores(q)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return scores
+}
 
-	// One batched request.
+func TestHealthzAndModelEndpoints(t *testing.T) {
+	_, hs, art := newTestServer(t, WithImmediateFlush())
+
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hz healthzResponse
+		err = json.NewDecoder(resp.Body).Decode(&hz)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if hz.Status != "ok" || hz.DefaultModel != "default" {
+			t.Fatalf("%s = %+v", path, hz)
+		}
+		if len(hz.Models) != 1 || hz.Models[0].ID != "default" || len(hz.Models[0].Fingerprint) != 16 {
+			t.Fatalf("%s models = %+v", path, hz.Models)
+		}
+	}
+
+	for _, path := range []string{"/model", "/v1/models/default"} {
+		mresp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mi modelResponse
+		err = json.NewDecoder(mresp.Body).Decode(&mi)
+		mresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mi.Dim != art.Dim() || mi.NumTrain != art.NumTrain() || mi.FormatVersion != model.FormatVersion {
+			t.Fatalf("%s info = %+v", path, mi)
+		}
+		if mi.Partition != art.Partition.String() {
+			t.Fatalf("partition %q, want %q", mi.Partition, art.Partition)
+		}
+		if mi.ID != "default" || len(mi.Fingerprint) != 16 || mi.Swaps != 0 {
+			t.Fatalf("%s registry fields = %+v", path, mi)
+		}
+	}
+
+	t.Run("models listing", func(t *testing.T) {
+		resp, err := http.Get(hs.URL + "/v1/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ml modelsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ml); err != nil {
+			t.Fatal(err)
+		}
+		if len(ml.Models) != 1 || ml.Models[0].ID != "default" || ml.Models[0].Dim != art.Dim() {
+			t.Fatalf("models = %+v", ml.Models)
+		}
+	})
+
+	t.Run("unknown model 404s with envelope", func(t *testing.T) {
+		resp, err := http.Get(hs.URL + "/v1/models/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", resp.StatusCode)
+		}
+		if e := decodeError(t, buf.Bytes()); e.Code != CodeModelNotFound {
+			t.Fatalf("code %q, want %q", e.Code, CodeModelNotFound)
+		}
+	})
+
+	t.Run("unrouted path 404s with envelope", func(t *testing.T) {
+		resp, err := http.Get(hs.URL + "/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", resp.StatusCode)
+		}
+		decodeError(t, buf.Bytes()) // must be the envelope, not net/http plain text
+	})
+}
+
+// TestPredictMatchesInMemoryScoresBitIdentically is the serving half of the
+// round-trip acceptance property: predict answers — batched or single,
+// legacy or v1 route — are bit-identical to scoring the artifact in memory.
+func TestPredictMatchesInMemoryScoresBitIdentically(t *testing.T) {
+	_, hs, art := newTestServer(t, WithImmediateFlush())
+	q := testQueries(art.Dim(), 9)
+	want := offlineScores(t, art, q)
+
+	// One batched request on the legacy route.
 	resp, body := postPredict(t, hs.URL, PredictRequest{Instances: q})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("predict status %d: %s", resp.StatusCode, body)
@@ -173,6 +268,15 @@ func TestPredictMatchesInMemoryScoresBitIdentically(t *testing.T) {
 		}
 	}
 
+	// The v1 route is a byte-for-byte alias of the legacy route.
+	v1resp, v1body := postJSON(t, hs.URL+"/v1/models/default/predict", PredictRequest{Instances: q})
+	if v1resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 predict status %d: %s", v1resp.StatusCode, v1body)
+	}
+	if !bytes.Equal(v1body, body) {
+		t.Fatalf("v1 body differs from legacy body:\n%s\n%s", v1body, body)
+	}
+
 	// One request per instance, exercising the "instance" convenience form.
 	for i, row := range q {
 		resp, body := postPredict(t, hs.URL, map[string]any{"instance": row})
@@ -189,22 +293,112 @@ func TestPredictMatchesInMemoryScoresBitIdentically(t *testing.T) {
 	}
 }
 
+// TestMultiModelRouting serves two different models at once and pins that
+// /v1/models/{id}/predict routes each request to the right one.
+func TestMultiModelRouting(t *testing.T) {
+	artA := testArtifactSeed(t, 11)
+	artB := testArtifactSeed(t, 23)
+	reg := NewRegistry()
+	if err := reg.Load("alpha", artA); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("beta", artB); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), reg, WithImmediateFlush(), WithDefaultModel("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+
+	q := testQueries(artA.Dim(), 7)
+	wantA := offlineScores(t, artA, q)
+	wantB := offlineScores(t, artB, q)
+	if math.Float64bits(wantA[0]) == math.Float64bits(wantB[0]) {
+		t.Fatal("test models score identically; routing would be unobservable")
+	}
+
+	for _, tc := range []struct {
+		path string
+		want []float64
+	}{
+		{"/v1/models/alpha/predict", wantA},
+		{"/v1/models/beta/predict", wantB},
+		{"/predict", wantA}, // legacy route resolves to the default model
+	} {
+		resp, body := postJSON(t, hs.URL+tc.path, PredictRequest{Instances: q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d: %s", tc.path, resp.StatusCode, body)
+		}
+		var pr PredictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		for i := range tc.want {
+			if math.Float64bits(pr.Scores[i]) != math.Float64bits(tc.want[i]) {
+				t.Fatalf("%s score %d = %v, want %v", tc.path, i, pr.Scores[i], tc.want[i])
+			}
+		}
+	}
+
+	if ids := s.Registry().IDs(); len(ids) != 2 || ids[0] != "alpha" || ids[1] != "beta" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+// TestMultiModelWithoutDefault pins the no-default contract: a registry
+// with several models and no WithDefaultModel answers 404 on the legacy
+// routes while the v1 routes work.
+func TestMultiModelWithoutDefault(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Load("alpha", testArtifactSeed(t, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("beta", testArtifactSeed(t, 23)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), reg, WithImmediateFlush())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+
+	if s.DefaultModel() != "" {
+		t.Fatalf("DefaultModel = %q, want none", s.DefaultModel())
+	}
+	row := make([]float64, testArtifactSeed(t, 11).Dim())
+	resp, body := postPredict(t, hs.URL, PredictRequest{Instances: [][]float64{row}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy predict without default: status %d, want 404", resp.StatusCode)
+	}
+	if e := decodeError(t, body); e.Code != CodeModelNotFound {
+		t.Fatalf("code %q, want %q", e.Code, CodeModelNotFound)
+	}
+}
+
+// TestDefaultModelMustExist: naming a missing default is a construction
+// error, not a runtime 404 surprise.
+func TestDefaultModelMustExist(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Load("alpha", testArtifact(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(context.Background(), reg, WithDefaultModel("ghost")); err == nil {
+		t.Fatal("New accepted a default model that is not registered")
+	}
+}
+
 // TestConcurrentRequestsAreCoalesced pins the micro-batching behaviour:
 // with one worker holding the flush window open, concurrent single-instance
 // requests score in shared batches, and every client still receives its own
 // correct score.
 func TestConcurrentRequestsAreCoalesced(t *testing.T) {
-	s, hs, art := newTestServer(t, Config{Workers: 1, FlushInterval: 30 * time.Millisecond, MaxBatch: 64})
-	pred, err := model.NewPredictor(art)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s, hs, art := newTestServer(t, WithWorkers(1), WithFlushInterval(30*time.Millisecond), WithMaxBatch(64))
 	const clients = 16
 	q := testQueries(art.Dim(), clients)
-	want, err := pred.Scores(q)
-	if err != nil {
-		t.Fatal(err)
-	}
+	want := offlineScores(t, art, q)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -233,7 +427,10 @@ func TestConcurrentRequestsAreCoalesced(t *testing.T) {
 		t.Error(err)
 	}
 
-	m := s.Snapshot()
+	m, ok := s.SnapshotModel("default")
+	if !ok {
+		t.Fatal("default model has no metrics")
+	}
 	if m.Instances != clients {
 		t.Fatalf("scored %d instances, want %d", m.Instances, clients)
 	}
@@ -252,16 +449,9 @@ func TestConcurrentRequestsAreCoalesced(t *testing.T) {
 // single request bigger than MaxBatch is scored in MaxBatch-sized chunks,
 // bit-identically to in-memory scoring.
 func TestOversizedRequestIsChunkedCorrectly(t *testing.T) {
-	s, hs, art := newTestServer(t, Config{Immediate: true, MaxBatch: 4})
-	pred, err := model.NewPredictor(art)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s, hs, art := newTestServer(t, WithImmediateFlush(), WithMaxBatch(4))
 	q := testQueries(art.Dim(), 11) // 11 instances, 4-instance chunks
-	want, err := pred.Scores(q)
-	if err != nil {
-		t.Fatal(err)
-	}
+	want := offlineScores(t, art, q)
 	resp, body := postPredict(t, hs.URL, PredictRequest{Instances: q})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
@@ -278,13 +468,13 @@ func TestOversizedRequestIsChunkedCorrectly(t *testing.T) {
 			t.Fatalf("chunked score %d = %v, in-memory %v", i, pr.Scores[i], want[i])
 		}
 	}
-	if got := s.Snapshot().Instances; got != int64(len(q)) {
+	if got := s.Totals().Instances; got != int64(len(q)) {
 		t.Fatalf("metrics counted %d instances, want %d", got, len(q))
 	}
 }
 
 func TestPredictValidation(t *testing.T) {
-	_, hs, art := newTestServer(t, Config{Immediate: true})
+	_, hs, art := newTestServer(t, WithImmediateFlush())
 	dim := art.Dim()
 	ok := make([]float64, dim)
 
@@ -292,13 +482,14 @@ func TestPredictValidation(t *testing.T) {
 		name   string
 		body   string
 		status int
+		code   string
 	}{
-		{"wrong dim", `{"instances": [[1, 2]]}`, http.StatusBadRequest},
-		{"empty", `{"instances": []}`, http.StatusBadRequest},
-		{"no instances", `{}`, http.StatusBadRequest},
-		{"nan literal", `{"instances": [[NaN]]}`, http.StatusBadRequest},
-		{"unknown field", `{"rows": [[1]]}`, http.StatusBadRequest},
-		{"not json", `scores please`, http.StatusBadRequest},
+		{"wrong dim", `{"instances": [[1, 2]]}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"empty", `{"instances": []}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"no instances", `{}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"nan literal", `{"instances": [[NaN]]}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"unknown field", `{"rows": [[1]]}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"not json", `scores please`, http.StatusBadRequest, CodeInvalidRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -306,9 +497,14 @@ func TestPredictValidation(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode != tc.status {
 				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if e := decodeError(t, buf.Bytes()); e.Code != tc.code {
+				t.Fatalf("code %q, want %q", e.Code, tc.code)
 			}
 		})
 	}
@@ -318,9 +514,14 @@ func TestPredictValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Fatalf("status %d, want 405", resp.StatusCode)
+		}
+		if e := decodeError(t, buf.Bytes()); e.Code != CodeMethodNotAllowed {
+			t.Fatalf("code %q, want %q", e.Code, CodeMethodNotAllowed)
 		}
 	})
 
@@ -332,26 +533,52 @@ func TestPredictValidation(t *testing.T) {
 	})
 
 	t.Run("rejections counted", func(t *testing.T) {
-		s, _, _ := newTestServer(t, Config{Immediate: true})
+		s, _, _ := newTestServer(t, WithImmediateFlush())
 		h := s.Handler()
 		req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader([]byte(`{}`)))
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
-		if got := s.Snapshot().Rejected; got != 1 {
-			t.Fatalf("rejected counter = %d, want 1", got)
+		m, _ := s.SnapshotModel("default")
+		if m.Rejected != 1 {
+			t.Fatalf("rejected counter = %d, want 1", m.Rejected)
 		}
 	})
 }
 
 func TestScoreBatchAfterCloseErrors(t *testing.T) {
 	art := testArtifact(t)
-	s, err := New(art, Config{Immediate: true})
+	reg := NewRegistry()
+	if err := reg.Load("default", art); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), reg, WithImmediateFlush())
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
-	if _, err := s.ScoreBatch([][]float64{make([]float64, art.Dim())}); err == nil {
+	if _, err := s.ScoreBatch("default", [][]float64{make([]float64, art.Dim())}); err == nil {
 		t.Fatal("ScoreBatch on a closed server did not error")
 	}
 	s.Close() // idempotent
+}
+
+func TestRegistryValidation(t *testing.T) {
+	reg := NewRegistry()
+	art := testArtifact(t)
+	for _, id := range []string{"", "a b", "a/b", "a\nb", "ü"} {
+		if err := reg.Load(id, art); err == nil {
+			t.Errorf("Load accepted invalid model id %q", id)
+		}
+	}
+	for _, id := range []string{"a", "A-1", "model.v2", "snake_case"} {
+		if err := reg.Load(id, art); err != nil {
+			t.Errorf("Load rejected valid model id %q: %v", id, err)
+		}
+	}
+	if reg.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", reg.Len())
+	}
+	if !reg.Remove("a") || reg.Remove("a") {
+		t.Fatal("Remove is not reporting registration correctly")
+	}
 }

@@ -2,23 +2,35 @@ package serve
 
 import (
 	"context"
-	"strings"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 )
 
-// TestShutdownDrainsAdmittedRequests: every request admitted before
-// Shutdown receives its real scores; requests arriving after are rejected.
-func TestShutdownDrainsAdmittedRequests(t *testing.T) {
-	art := testArtifact(t)
-	// A slow flush forces admitted requests to still be coalescing when
-	// Shutdown lands, so the test exercises the drain, not a fast path.
-	s, err := New(art, Config{Workers: 2, FlushInterval: 50 * time.Millisecond})
+// newDirectServer builds a single-model server without an HTTP listener —
+// for tests exercising ScoreBatch and lifecycle directly.
+func newDirectServer(t *testing.T, opts ...Option) *Server {
+	t.Helper()
+	reg := NewRegistry()
+	if err := reg.Load("default", testArtifact(t)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(context.Background(), reg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	row := make([]float64, art.Dim())
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestShutdownDrainsAdmittedRequests: every request admitted before
+// Shutdown receives its real scores; requests arriving after are rejected.
+func TestShutdownDrainsAdmittedRequests(t *testing.T) {
+	// A slow flush forces admitted requests to still be coalescing when
+	// Shutdown lands, so the test exercises the drain, not a fast path.
+	s := newDirectServer(t, WithWorkers(2), WithFlushInterval(50*time.Millisecond))
+	row := make([]float64, testArtifact(t).Dim())
 
 	const requests = 8
 	var wg sync.WaitGroup
@@ -28,7 +40,7 @@ func TestShutdownDrainsAdmittedRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			scores[i], errs[i] = s.ScoreBatch([][]float64{row})
+			scores[i], errs[i] = s.ScoreBatch("default", [][]float64{row})
 		}(i)
 	}
 	time.Sleep(10 * time.Millisecond) // let the batch coalesce start
@@ -48,18 +60,15 @@ func TestShutdownDrainsAdmittedRequests(t *testing.T) {
 	}
 
 	// Post-shutdown traffic is rejected, not hung.
-	if _, err := s.ScoreBatch([][]float64{row}); err == nil || !strings.Contains(err.Error(), "shutting down") {
-		t.Fatalf("post-shutdown request: err = %v, want shutting-down rejection", err)
+	if _, err := s.ScoreBatch("default", [][]float64{row}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown request: err = %v, want ErrShuttingDown", err)
 	}
 }
 
 // TestShutdownIdempotentAndConcurrent: concurrent Shutdown/Close calls
 // must not panic or deadlock.
 func TestShutdownIdempotentAndConcurrent(t *testing.T) {
-	s, err := New(testArtifact(t), Config{Workers: 2, Immediate: true})
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := newDirectServer(t, WithWorkers(2), WithImmediateFlush())
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
@@ -74,16 +83,10 @@ func TestShutdownIdempotentAndConcurrent(t *testing.T) {
 	s.Close()
 }
 
-// TestShutdownTimeoutForceCloses: an expired drain deadline falls back to
-// the hard close and reports the context error.
-func TestShutdownTimeoutForceCloses(t *testing.T) {
-	s, err := New(testArtifact(t), Config{Workers: 1, Immediate: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// A request that can never be answered: enqueue a job directly while
-	// holding no worker... simplest is to saturate with an already-expired
-	// context — the drain path must still return promptly.
+// TestShutdownTimeoutReturnsPromptly: the drain path must return even on a
+// dead context.
+func TestShutdownTimeoutReturnsPromptly(t *testing.T) {
+	s := newDirectServer(t, WithWorkers(1), WithImmediateFlush())
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	// With no traffic the drain succeeds instantly even on a dead context
@@ -101,19 +104,25 @@ func TestShutdownTimeoutForceCloses(t *testing.T) {
 // TestNewContextShutsDownOnCancel: cancelling the base context drains and
 // stops the server on its own.
 func TestNewContextShutsDownOnCancel(t *testing.T) {
+	art := testArtifact(t)
+	reg := NewRegistry()
+	if err := reg.Load("default", art); err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s, err := NewContext(ctx, testArtifact(t), Config{Workers: 2, Immediate: true})
+	s, err := New(ctx, reg, WithWorkers(2), WithImmediateFlush())
 	if err != nil {
 		t.Fatal(err)
 	}
-	row := make([]float64, s.art.Dim())
-	if _, err := s.ScoreBatch([][]float64{row}); err != nil {
+	t.Cleanup(s.Close)
+	row := make([]float64, art.Dim())
+	if _, err := s.ScoreBatch("default", [][]float64{row}); err != nil {
 		t.Fatalf("pre-cancel request failed: %v", err)
 	}
 	cancel()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := s.ScoreBatch([][]float64{row}); err != nil {
+		if _, err := s.ScoreBatch("default", [][]float64{row}); err != nil {
 			break // rejection proves the drain started
 		}
 		if time.Now().After(deadline) {
@@ -121,20 +130,37 @@ func TestNewContextShutsDownOnCancel(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	select {
-	case <-s.done:
-	case <-time.After(5 * time.Second):
-		t.Fatal("workers not stopped after base-context cancellation")
+}
+
+// TestNewWithConfigServesLikeBefore: the deprecated struct-config bridge
+// still builds a working single-model server under the id "default".
+func TestNewWithConfigServesLikeBefore(t *testing.T) {
+	art := testArtifact(t)
+	s, err := NewWithConfig(context.Background(), art, Config{Immediate: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if s.DefaultModel() != "default" {
+		t.Fatalf("DefaultModel = %q, want default", s.DefaultModel())
+	}
+	q := testQueries(art.Dim(), 3)
+	want := offlineScores(t, art, q)
+	got, err := s.ScoreBatch("default", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }
 
 // TestListenAndServeContextDrainsCleanly: the context-driven listener
 // returns nil after a clean drain — the exit-0 path of `iotml serve`.
 func TestListenAndServeContextDrainsCleanly(t *testing.T) {
-	s, err := New(testArtifact(t), Config{Workers: 2, Immediate: true})
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := newDirectServer(t, WithWorkers(2), WithImmediateFlush())
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServeContext(ctx, "127.0.0.1:0") }()

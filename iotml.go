@@ -47,6 +47,7 @@
 package iotml
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
@@ -58,6 +59,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/pipeline"
 	"repro/internal/rough"
+	"repro/internal/serve"
 	"repro/internal/stats"
 )
 
@@ -169,6 +171,77 @@ func LoadArtifact(path string) (*Artifact, error) { return model.LoadFile(path) 
 
 // NewPredictor validates an artifact and builds its inference engine.
 func NewPredictor(a *Artifact) (*Predictor, error) { return model.NewPredictor(a) }
+
+// Fleet serving (internal/serve re-exports). Build a ServeRegistry, load
+// artifacts into it, and start a Server with Serve and functional options —
+// the serving mirror of the Fit option idiom:
+//
+//	reg := iotml.NewServeRegistry()
+//	_ = reg.LoadFile("face", "face.iotml")
+//	srv, err := iotml.Serve(ctx, reg,
+//		iotml.WithDefaultModel("face"),
+//		iotml.WithQueueDepth(128),
+//	)
+//	err = srv.ListenAndServeContext(ctx, ":8080")
+//
+// Registry.Load on a live id hot-swaps the model atomically with zero
+// dropped admitted requests; WithModelDir does the same from a watched
+// directory of .iotml files.
+type (
+	// Server is the multi-model batched inference server.
+	Server = serve.Server
+	// ServeRegistry is the model store a Server routes predictions to.
+	ServeRegistry = serve.Registry
+	// ServeOption configures a Serve call (WithMaxBatch, WithQueueDepth,
+	// WithDefaultModel, WithModelDir, ...).
+	ServeOption = serve.Option
+	// ServeMetrics is a copy-on-read snapshot of one model's serving
+	// counters.
+	ServeMetrics = serve.Metrics
+	// ServeModelInfo describes one registered model.
+	ServeModelInfo = serve.ModelInfo
+	// PredictRequest is the serving API's request body.
+	PredictRequest = serve.PredictRequest
+	// PredictResponse is the serving API's response body.
+	PredictResponse = serve.PredictResponse
+)
+
+// NewServeRegistry returns an empty model registry for Serve.
+func NewServeRegistry() *ServeRegistry { return serve.NewRegistry() }
+
+// Serve builds the multi-model inference server over reg, tied to ctx (see
+// serve.New). Options mirror the Fit idiom; zero options reproduce the
+// defaults.
+func Serve(ctx context.Context, reg *ServeRegistry, opts ...ServeOption) (*Server, error) {
+	return serve.New(ctx, reg, opts...)
+}
+
+// Serving options, re-exported so callers need only the root package.
+var (
+	// WithMaxBatch caps the instances coalesced into one scoring batch.
+	WithMaxBatch = serve.WithMaxBatch
+	// WithFlushInterval sets the micro-batching flush window.
+	WithFlushInterval = serve.WithFlushInterval
+	// WithImmediateFlush disables batching waits.
+	WithImmediateFlush = serve.WithImmediateFlush
+	// WithWorkers sets the scoring worker count per model.
+	WithWorkers = serve.WithWorkers
+	// WithQueueDepth bounds pending requests per model (429 beyond).
+	WithQueueDepth = serve.WithQueueDepth
+	// WithGlobalQueueDepth bounds in-flight predictions server-wide (503
+	// beyond).
+	WithGlobalQueueDepth = serve.WithGlobalQueueDepth
+	// WithMaxRequestBytes bounds a predict request body.
+	WithMaxRequestBytes = serve.WithMaxRequestBytes
+	// WithDrainTimeout bounds graceful shutdown and hot-swap drains.
+	WithDrainTimeout = serve.WithDrainTimeout
+	// WithDefaultModel names the model the legacy unversioned routes serve.
+	WithDefaultModel = serve.WithDefaultModel
+	// WithModelDir serves and watches a directory of .iotml artifacts.
+	WithModelDir = serve.WithModelDir
+	// WithReloadInterval sets the WithModelDir polling period.
+	WithReloadInterval = serve.WithReloadInterval
+)
 
 // Rough sets.
 type (

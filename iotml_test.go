@@ -1,6 +1,7 @@
 package iotml
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/mkl"
@@ -49,5 +50,67 @@ func TestPublicAPIRoughExample(t *testing.T) {
 	tbl := PhonesExample()
 	if tbl.N() != 4 {
 		t.Errorf("phones table has %d rows", tbl.N())
+	}
+}
+
+// TestPublicAPIServePath drives the root serving surface end to end: fit,
+// package, register, Serve with re-exported options, and score through the
+// server bit-identically to the offline Predictor.
+func TestPublicAPIServePath(t *testing.T) {
+	cfg := DefaultBiometricConfig()
+	cfg.N = 60
+	train := SyntheticBiometric(cfg, NewRNG(1))
+	train.Standardize()
+	res, err := Fit(context.Background(), train, WithFolds(4), WithCVSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := res.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewServeRegistry()
+	if err := reg.Load("m", art); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(context.Background(), reg,
+		WithImmediateFlush(),
+		WithWorkers(1),
+		WithQueueDepth(8),
+		WithGlobalQueueDepth(16),
+		WithDefaultModel("m"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pred, err := NewPredictor(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := train.X[:5]
+	want, err := pred.Scores(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.ScoreBatch("m", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("served score %d = %v, offline %v", i, got[i], want[i])
+		}
+	}
+	if srv.DefaultModel() != "m" {
+		t.Fatalf("DefaultModel = %q", srv.DefaultModel())
+	}
+	if m, ok := srv.SnapshotModel("m"); !ok || m.Requests != 1 {
+		t.Fatalf("snapshot = %+v ok=%v", m, ok)
+	}
+	if fp, ok := reg.Fingerprint("m"); !ok || len(fp) != 16 {
+		t.Fatalf("fingerprint = %q ok=%v", fp, ok)
 	}
 }

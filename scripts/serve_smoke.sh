@@ -66,6 +66,33 @@ curl -fsS -X POST -H 'Content-Type: application/json' \
 curl -fsS -X POST -H 'Content-Type: application/json' \
   --data-binary @"$FIX/request-single.json" "http://$ADDR/predict" > "$TMP/server-single.json"
 
+# The versioned route must alias the legacy route byte-for-byte: /predict
+# resolves to the default model, so /v1/models/default/predict is the same
+# scoring path behind a different URL.
+echo "serve-smoke: asserting /v1 route parity"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @"$FIX/request.json" "http://$ADDR/v1/models/default/predict" > "$TMP/server-batch-v1.json"
+diff -u "$TMP/server-batch.json" "$TMP/server-batch-v1.json"
+curl -fsS "http://$ADDR/v1/healthz" | grep -q '"status":"ok"'
+curl -fsS "http://$ADDR/v1/models" > "$TMP/models.json"
+grep -q '"id":"default"' "$TMP/models.json"
+grep -Eq '"fingerprint":"[0-9a-f]{16}"' "$TMP/models.json"
+
+# The Prometheus exposition must carry the per-model serving counters.
+curl -fsS "http://$ADDR/v1/metrics" > "$TMP/metrics.txt"
+grep -q '^iotml_requests_total{model="default"} ' "$TMP/metrics.txt"
+grep -q '^iotml_shed_total{model="default"} 0' "$TMP/metrics.txt"
+grep -q '^iotml_models 1' "$TMP/metrics.txt"
+
+# Unknown models answer the structured error envelope with a stable code.
+code=$(curl -s -o "$TMP/notfound.json" -w '%{http_code}' \
+  -X POST --data-binary @"$FIX/request.json" "http://$ADDR/v1/models/ghost/predict")
+if [ "$code" != 404 ]; then
+  echo "serve-smoke: unknown model answered $code, want 404" >&2
+  exit 1
+fi
+grep -q '"code":"model_not_found"' "$TMP/notfound.json"
+
 # Malformed traffic must be rejected at the boundary, not crash a worker.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
   --data-binary '{"instances": [[1, 2]]}' "http://$ADDR/predict")
