@@ -7,7 +7,7 @@ GO ?= go
 # together.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet fmt staticcheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke load-smoke ci
+.PHONY: all build vet fmt staticcheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke load-smoke scale-smoke ci
 
 all: build
 
@@ -81,6 +81,16 @@ fit-smoke:
 load-smoke:
 	$(GO) test -tags loadsmoke -run TestLoadSmoke -count=1 -v ./internal/serve/
 
+# scale-smoke exercises the approximate Gram engine at real scale: a
+# synthetic n=10k fit under -gram nystrom:256 must finish inside a
+# wall-clock and RSS budget, its top-K exact re-score must select the
+# committed golden partition, and the budgeted search at n=1k must beat the
+# exact exhaustive cone by the promised factor. Tag-gated like load-smoke
+# because it deliberately allocates hundreds of MB and burns CPU. Mirrors
+# the CI scale-smoke job.
+scale-smoke:
+	$(GO) test -tags scalesmoke -run TestScaleSmoke -count=1 -v -timeout 15m .
+
 # BENCHTIME tunes the machine-readable benchmark run: the 1x default keeps
 # the CI capture step fast; override with e.g. BENCHTIME=1s for stable
 # numbers worth comparing across commits (the nightly workflow does).
@@ -105,11 +115,11 @@ BENCHJSON_FLAGS ?=
 # (CI runs it as its own step).
 bench-json:
 	@out=$$(mktemp); \
-	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkParallel_|BenchmarkScore_|BenchmarkFit_|BenchmarkServe_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
+	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkGramApprox_|BenchmarkParallel_|BenchmarkScore_|BenchmarkFit_|BenchmarkServe_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
 	$(GO) run ./cmd/benchjson -baseline BENCH_gram.json -threshold 0.20 $(BENCHJSON_FLAGS) < $$out > BENCH_gram.json.tmp \
 		&& mv BENCH_gram.json.tmp BENCH_gram.json && rm -f $$out
 	@echo "wrote BENCH_gram.json"
 
-ci: build lint test shuffle race bench-smoke serve-smoke fit-smoke load-smoke
+ci: build lint test shuffle race bench-smoke serve-smoke fit-smoke load-smoke scale-smoke

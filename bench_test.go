@@ -696,3 +696,68 @@ func benchCatalogue(b *testing.B, workers int) {
 		}
 	}
 }
+
+// --- approximate Gram engine at scale (ISSUE 7 / ROADMAP item 1) ---
+//
+// BenchmarkGramApprox_* measures the low-rank engine against the exact
+// path at n ∈ {1k, 10k}: an exhaustive cone over a 5-feature synthetic
+// workload under the alignment objective (the objective whose exact twin
+// is still affordable at 1k for a same-workload comparison; 10k runs
+// approx-only — the exact cone there is exactly the O(n²) wall the engine
+// removes). Joined into BENCH_gram.json by `make bench-json` and gated by
+// -fail-on-regress like every other suite.
+
+// gramApproxData synthesizes the n×5 two-class workload the approx benches
+// and the budgeted-search acceptance test share.
+func gramApproxData(n int) *dataset.Dataset {
+	const m = 5
+	rng := stats.NewRNG(11)
+	d := &dataset.Dataset{}
+	for i := 0; i < n; i++ {
+		y := 1
+		if rng.Float64() < 0.5 {
+			y = -1
+		}
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			if j < (m+1)/2 {
+				row[j] = float64(y)*0.8 + rng.NormFloat64()*0.5
+			} else {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func benchGramApproxCone(b *testing.B, n int, mode mkl.GramMode, rank int) {
+	d := gramApproxData(n)
+	seed := partition.Coarsest(5)
+	for i := 0; i < b.N; i++ {
+		e, err := mkl.NewEvaluator(d, mkl.Config{
+			Objective: mkl.KernelAlignment, Seed: 1, Parallelism: 1,
+			GramMode: mode, GramRank: rank,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mkl.ExhaustiveCone(e, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluations != 52 { // Bell(5) candidates per cone
+			b.Fatalf("cone evaluated %d candidates, want 52", res.Evaluations)
+		}
+	}
+}
+
+func BenchmarkGramApprox_Exact1k(b *testing.B) { benchGramApproxCone(b, 1000, mkl.GramExact, 0) }
+func BenchmarkGramApprox_Nystrom1k(b *testing.B) {
+	benchGramApproxCone(b, 1000, mkl.GramNystrom, 32)
+}
+func BenchmarkGramApprox_RFF1k(b *testing.B) { benchGramApproxCone(b, 1000, mkl.GramRFF, 64) }
+func BenchmarkGramApprox_Nystrom10k(b *testing.B) {
+	benchGramApproxCone(b, 10000, mkl.GramNystrom, 32)
+}

@@ -54,6 +54,7 @@ func main() {
 	if *baseline != "" {
 		regressed = reportRegressions(*baseline, report, *threshold, *failOnRegress)
 	}
+	reportInversions(report)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
@@ -64,6 +65,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: failing: %d regressed allocs/op metrics vs %s (refresh the baseline with `make bench-json` if the regression is intended)\n",
 			regressed, *baseline)
 		os.Exit(1)
+	}
+}
+
+// reportInversions annotates every parallel benchmark variant (_W<n>) that
+// failed to beat its sequential (_Seq) twin in this very run. Inversions
+// never block — the affected workload may simply be too small to amortize
+// fan-out on the current runner — but they must not pass silently either:
+// the baseline diff cannot catch them (an inversion present in the baseline
+// is "no regression" forever), so they get their own warning line.
+func reportInversions(report *benchparse.Report) {
+	for _, inv := range benchparse.Inversions(report) {
+		fmt.Fprintf(os.Stderr, "::warning title=parallel inversion::%s (%gms) did not beat %s (%gms): %.2fx at %d workers — contention or workload too small\n",
+			inv.Par, inv.ParNs/1e6, inv.Seq, inv.SeqNs/1e6, inv.Ratio, inv.Workers)
 	}
 }
 

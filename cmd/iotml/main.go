@@ -176,7 +176,9 @@ commands:
   fit -o m.iotml     fit a model and save it as a versioned artifact
                      (-workload -n -seed -learner -kernel -combiner -search,
                      or -data train.csv|.jsonl -label -features -views -nan
-                     for real data; -v streams live progress,
+                     for real data; -gram nystrom:256 scores candidates on
+                     low-rank factors for large n, -budget-topk 8 re-scores
+                     the top survivors exactly; -v streams live progress,
                      -progress-jsonl FILE captures the event stream;
                      Ctrl-C aborts at the next candidate; see fit -h)
   predict -m m.iotml score JSON instances offline (reads {"instances": [...]}

@@ -257,6 +257,8 @@ func runFit(args []string, workers int) error {
 	gamma := fs.Float64("gamma", 1.0, "RBF base bandwidth (gamma/|block|)")
 	combiner := fs.String("combiner", "sum", "block combiner: sum|product")
 	search := fs.String("search", "chain", "lattice search: chain|chain-first|greedy|exhaustive")
+	gram := fs.String("gram", "exact", "Gram backend: exact|nystrom[:rank]|rff[:rank], e.g. nystrom:256")
+	budgetTopK := fs.Int("budget-topk", 0, "with an approximate -gram: re-score the top K candidates exactly before selecting (0 = off)")
 	folds := fs.Int("folds", 0, "CV folds (0 = default 4)")
 	verbose := fs.Bool("v", false, "stream live search progress to stderr")
 	progressJSONL := fs.String("progress-jsonl", "", "write the progress event stream to this file as JSON lines")
@@ -297,6 +299,10 @@ func runFit(args []string, workers int) error {
 	} else if *combiner != "sum" {
 		return fmt.Errorf("fit: unknown combiner %q (sum|product)", *combiner)
 	}
+	gramMode, gramRank, err := iotml.ParseGramMode(*gram)
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
 	progress, closeSink, err := progressSink(*verbose, *progressJSONL)
 	if err != nil {
 		return fmt.Errorf("fit: %w", err)
@@ -308,6 +314,14 @@ func runFit(args []string, workers int) error {
 		iotml.WithLearner(trainer),
 		iotml.WithFolds(*folds),
 		iotml.WithParallelism(workers),
+	}
+	if gramMode != iotml.GramExact {
+		opts = append(opts, iotml.WithGramApprox(gramMode, gramRank))
+		if *budgetTopK > 0 {
+			opts = append(opts, iotml.WithBudget(*budgetTopK))
+		}
+	} else if *budgetTopK > 0 {
+		return fmt.Errorf("fit: -budget-topk requires an approximate -gram mode")
 	}
 	if progress != nil {
 		opts = append(opts, iotml.WithProgress(progress))

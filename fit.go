@@ -99,6 +99,38 @@ func WithExactGram() Option {
 	return func(c *core.FitConfig) { c.MKL.ExactGram = true }
 }
 
+// WithGramApprox selects an approximate Gram backend for the lattice
+// search: GramNystrom scores candidates on seeded landmark factors (exact
+// to ≤1e-9 at rank = n), GramRFF on random-Fourier-feature factors for RBF
+// blocks (Nyström fallback elsewhere). rank is the per-block rank —
+// landmark or feature count — with 0 selecting the default (64). The
+// deployment fit behind Deploy/Artifact always stays exact; combine with
+// WithBudget to re-score the top survivors exactly before selecting.
+// GramExact restores the default bit-identical path. Approximate modes
+// require the (default) sum combiner and are mutually exclusive with
+// WithExactGram.
+func WithGramApprox(mode GramMode, rank int) Option {
+	return func(c *core.FitConfig) {
+		c.MKL.GramMode = mode
+		c.MKL.GramRank = rank
+	}
+}
+
+// WithBudget enables the budgeted search mode on top of an approximate
+// Gram backend: the whole lattice is scored with the cheap approximation
+// and only the topK best distinct candidates are re-scored exactly, with
+// the exact scores deciding the final selection (see mkl.BudgetedSearch).
+// Values <= 0 disable re-scoring; without WithGramApprox the option has no
+// effect.
+func WithBudget(topK int) Option {
+	return func(c *core.FitConfig) { c.MKL.BudgetTopK = topK }
+}
+
+// ParseGramMode parses the CLI spelling of a Gram backend — "exact",
+// "nystrom[:rank]", or "rff[:rank]" — into the (mode, rank) pair
+// WithGramApprox consumes.
+func ParseGramMode(s string) (GramMode, int, error) { return mkl.ParseGramMode(s) }
+
 // WithConfig replaces the whole accumulated configuration — the escape
 // hatch for callers migrating from the FitConfig struct API. Options after
 // it apply on top.
@@ -139,14 +171,20 @@ type (
 	Combiner = kernel.Combiner
 	// Objective selects the candidate-scoring objective.
 	Objective = mkl.Objective
+	// GramMode selects the Gram backend of the lattice search (see
+	// WithGramApprox).
+	GramMode = mkl.GramMode
 )
 
-// Combiners and objectives.
+// Combiners, objectives, and Gram backends.
 const (
 	CombineSum      = kernel.CombineSum
 	CombineProduct  = kernel.CombineProduct
 	CVAccuracy      = mkl.CVAccuracy
 	KernelAlignment = mkl.KernelAlignment
+	GramExact       = mkl.GramExact
+	GramNystrom     = mkl.GramNystrom
+	GramRFF         = mkl.GramRFF
 )
 
 // RidgeLearner returns kernel ridge regression with the given

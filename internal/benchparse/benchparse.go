@@ -120,6 +120,66 @@ func Regressions(base, cur *Report, threshold float64) []Delta {
 	return out
 }
 
+// Inversion is a parallel benchmark variant running no faster than its
+// sequential twin — a scaling anomaly worth surfacing even though it is not
+// a baseline regression.
+type Inversion struct {
+	// Seq and Par are the full benchmark names of the sequential and
+	// parallel variants (e.g. "BenchmarkParallel_ExhaustiveCone_Seq-8" and
+	// "...._W2-8").
+	Seq string `json:"seq"`
+	Par string `json:"par"`
+	// Workers is the worker count parsed from the parallel variant's _W<n>
+	// suffix.
+	Workers int `json:"workers"`
+	// SeqNs and ParNs are the respective ns/op readings.
+	SeqNs float64 `json:"seq_ns"`
+	ParNs float64 `json:"par_ns"`
+	// Ratio is ParNs/SeqNs (>= 1 for every reported inversion).
+	Ratio float64 `json:"ratio"`
+}
+
+// Inversions scans a report for benchmark families following the
+// "<Base>_Seq" / "<Base>_W<n>" naming convention of the parallel suites and
+// returns every parallel variant whose ns/op is not below its sequential
+// twin's. Multi-worker parallelism that fails to beat one worker is either
+// contention or a workload too small to amortize the fan-out — both worth an
+// explicit annotation rather than a silent pass (the regression gate only
+// compares against the baseline, so a persistent inversion would never
+// fire it). Order follows the report's benchmark order.
+func Inversions(r *Report) []Inversion {
+	seq := make(map[string]Benchmark)
+	for _, b := range r.Benchmarks {
+		name := baseName(b.Name)
+		if strings.HasSuffix(name, "_Seq") {
+			seq[strings.TrimSuffix(name, "_Seq")] = b
+		}
+	}
+	var out []Inversion
+	for _, b := range r.Benchmarks {
+		name := baseName(b.Name)
+		i := strings.LastIndex(name, "_W")
+		if i < 0 {
+			continue
+		}
+		workers, err := strconv.Atoi(name[i+2:])
+		if err != nil || workers < 2 {
+			continue
+		}
+		s, ok := seq[name[:i]]
+		if !ok || s.NsPerOp <= 0 {
+			continue
+		}
+		if b.NsPerOp >= s.NsPerOp {
+			out = append(out, Inversion{
+				Seq: s.Name, Par: b.Name, Workers: workers,
+				SeqNs: s.NsPerOp, ParNs: b.NsPerOp, Ratio: b.NsPerOp / s.NsPerOp,
+			})
+		}
+	}
+	return out
+}
+
 // baseName strips the -GOMAXPROCS suffix the testing package appends to
 // benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo"), the key Regressions
 // matches on. Names without an all-digit suffix pass through unchanged.

@@ -142,3 +142,35 @@ func TestRegressionsAtThresholdBoundary(t *testing.T) {
 		t.Fatalf("just past boundary not reported: %+v", got)
 	}
 }
+
+func TestInversions(t *testing.T) {
+	r := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkParallel_Cone_Seq-8", NsPerOp: 100e6},
+		{Name: "BenchmarkParallel_Cone_W2-8", NsPerOp: 127e6}, // slower: inversion
+		{Name: "BenchmarkParallel_Cone_W4-8", NsPerOp: 60e6},  // faster: fine
+		{Name: "BenchmarkParallel_Chain_Seq-8", NsPerOp: 50e6},
+		{Name: "BenchmarkParallel_Chain_W2-8", NsPerOp: 50e6},  // tie counts as inversion
+		{Name: "BenchmarkParallel_Orphan_W2-8", NsPerOp: 10e6}, // no _Seq twin: skipped
+		{Name: "BenchmarkGram_Whatever-8", NsPerOp: 1e6},       // not a _W variant
+	}}
+	got := Inversions(r)
+	if len(got) != 2 {
+		t.Fatalf("got %d inversions (%+v), want 2", len(got), got)
+	}
+	if got[0].Par != "BenchmarkParallel_Cone_W2-8" || got[0].Workers != 2 || got[0].Ratio != 1.27 {
+		t.Errorf("inversion[0] = %+v", got[0])
+	}
+	if got[1].Seq != "BenchmarkParallel_Chain_Seq-8" || got[1].Ratio != 1 {
+		t.Errorf("inversion[1] = %+v", got[1])
+	}
+}
+
+func TestInversionsEmptyOnHealthyReport(t *testing.T) {
+	r := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkParallel_Cone_Seq-8", NsPerOp: 100e6},
+		{Name: "BenchmarkParallel_Cone_W2-8", NsPerOp: 55e6},
+	}}
+	if got := Inversions(r); len(got) != 0 {
+		t.Fatalf("healthy report flagged: %+v", got)
+	}
+}

@@ -185,16 +185,43 @@ func Fit(ctx context.Context, d *dataset.Dataset, cfg FitConfig) (*FitResult, er
 	e.SetContext(ctx)
 	// The *Parallel strategies fall back to their sequential counterparts
 	// themselves when the configured parallelism resolves to one worker.
-	var res *mkl.Result
+	var search mkl.SearchFunc
 	switch cfg.Search {
 	case SearchGreedy:
-		res, err = mkl.GreedyRefineParallel(e, seed)
+		search = mkl.GreedyRefineParallel
 	case SearchExhaustive:
-		res, err = mkl.ExhaustiveConeParallel(e, seed)
+		search = mkl.ExhaustiveConeParallel
 	case SearchChainFirstImprovement:
-		res, err = mkl.ChainSearchParallel(e, seed, mkl.FirstImprovement)
+		search = func(e *mkl.Evaluator, s partition.Partition) (*mkl.Result, error) {
+			return mkl.ChainSearchParallel(e, s, mkl.FirstImprovement)
+		}
 	default:
-		res, err = mkl.ChainSearchParallel(e, seed, mkl.BestOfChain)
+		search = func(e *mkl.Evaluator, s partition.Partition) (*mkl.Result, error) {
+			return mkl.ChainSearchParallel(e, s, mkl.BestOfChain)
+		}
+	}
+	var res *mkl.Result
+	if cfg.MKL.GramMode != mkl.GramExact && cfg.MKL.BudgetTopK > 0 {
+		// Budgeted mode: the approximate evaluator scores the lattice, an
+		// exact twin re-scores the top-K survivors and decides the final
+		// selection. The deployment fit (FitResult.Artifact, Deploy) is
+		// always exact regardless of mode.
+		exactCfg := cfg.MKL
+		exactCfg.GramMode, exactCfg.GramRank = mkl.GramExact, 0
+		// The exact twin runs cache-free: it only ever scores the top-K
+		// survivors, and retaining n×n blocks across them would cost
+		// O(blocks·n²) memory at exactly the scale budgeted mode targets
+		// (one cached block is 800 MB at n=10k). Cache-free keeps the
+		// peak at one assembled Gram plus scratch.
+		exactCfg.GramCacheBlocks = -1
+		exactEval, eerr := mkl.NewEvaluator(d, exactCfg)
+		if eerr != nil {
+			return nil, fmt.Errorf("core: %w", eerr)
+		}
+		exactEval.SetContext(ctx)
+		res, err = mkl.BudgetedSearch(e, exactEval, seed, search, cfg.MKL.BudgetTopK)
+	} else {
+		res, err = search(e, seed)
 	}
 	if err != nil {
 		// On cancellation the search hands back everything it finished;

@@ -13,7 +13,7 @@ import (
 )
 
 // DefaultGramCacheBlocks bounds how many distinct feature blocks a
-// BlockGramCache retains before it stops admitting new entries. An
+// BlockGramCache retains before it evicts its oldest entries. An
 // exhaustive cone over a free block of m features touches 2^m - 1 distinct
 // blocks, so the default comfortably covers m <= 10 while keeping worst-case
 // memory at DefaultGramCacheBlocks × n² floats.
@@ -32,8 +32,13 @@ type BlockGramCache struct {
 	limit   int
 	exact   bool
 
-	mu sync.RWMutex
-	m  map[string]*linalg.Matrix
+	mu       sync.RWMutex
+	maxBytes int64
+	bytes    int64
+	// order tracks insertion order of the Gram map's keys for FIFO
+	// eviction once limit or maxBytes is exceeded.
+	order []string
+	m     map[string]*linalg.Matrix
 	// xm caches the contiguous column-block matrices feeding the vectorized
 	// Gram path, so a block's features are gathered once per dataset rather
 	// than re-sliced per instance pair (or re-extracted when the Gram map is
@@ -45,6 +50,8 @@ type BlockGramCache struct {
 // build each block kernel. limit bounds the number of retained blocks:
 // 0 selects DefaultGramCacheBlocks, negative values disable retention
 // (every block is recomputed — useful only for measuring the cache's win).
+// Once the bound is exceeded the oldest cached blocks are evicted (FIFO);
+// see SetMaxBytes for an additional byte-denominated bound.
 func NewBlockGramCache(x [][]float64, factory BlockKernelFactory, limit int) *BlockGramCache {
 	if limit == 0 {
 		limit = DefaultGramCacheBlocks
@@ -88,11 +95,48 @@ func (c *BlockGramCache) BlockMatrix(feats []int) *linalg.Matrix {
 	return sub
 }
 
+// SetMaxBytes bounds the total size of the cached Gram matrices (8 bytes
+// per float64 entry); 0 disables the byte bound, leaving only the block
+// count limit. When a store pushes the cache past the bound, the oldest
+// blocks are evicted until it fits again — the most recent block is always
+// retained, so a single over-budget block still serves its candidate.
+// Eviction only drops the cache's own references: matrices already handed
+// out stay valid (shared read-only), and a re-request recomputes the block
+// through the same deterministic path, so assembled Grams are bit-identical
+// with or without eviction.
+func (c *BlockGramCache) SetMaxBytes(b int64) {
+	c.mu.Lock()
+	c.maxBytes = b
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
 // Len reports how many block Grams are currently cached.
 func (c *BlockGramCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Bytes reports the total size of the cached Gram matrices in bytes.
+func (c *BlockGramCache) Bytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.bytes
+}
+
+// evictLocked drops the oldest cached Grams (FIFO) until both the block
+// count and byte bounds hold, always keeping the newest entry. Callers hold
+// the write lock.
+func (c *BlockGramCache) evictLocked() {
+	for len(c.order) > 1 && (len(c.m) > c.limit || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		old := c.order[0]
+		c.order = c.order[1:]
+		if g, ok := c.m[old]; ok {
+			c.bytes -= int64(len(g.Data)) * 8
+			delete(c.m, old)
+		}
+	}
 }
 
 // blockKey fingerprints a block by its sorted 0-based feature indices.
@@ -153,8 +197,12 @@ func (c *BlockGramCache) blockGram(key []byte, feats []int) *linalg.Matrix {
 	c.mu.Lock()
 	if prev, ok := c.m[string(key)]; ok {
 		g = prev
-	} else if len(c.m) < c.limit {
-		c.m[string(key)] = g
+	} else if c.limit > 0 {
+		ks := string(key)
+		c.m[ks] = g
+		c.order = append(c.order, ks)
+		c.bytes += int64(len(g.Data)) * 8
+		c.evictLocked()
 	}
 	c.mu.Unlock()
 	return g

@@ -1,0 +1,83 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// A byte-bounded cache must evict oldest-first, never dropping below one
+// retained entry, and keep its byte accounting consistent.
+func TestBlockGramCacheMaxBytes(t *testing.T) {
+	x := randomRows(10, 6, 9)
+	cache := NewBlockGramCache(x, RBFFactory(1.0), 0)
+	per := int64(10*10) * 8 // one n×n block
+	cache.SetMaxBytes(2 * per)
+	for f := 0; f < 5; f++ {
+		cache.BlockGram([]int{f})
+	}
+	if got := cache.Len(); got != 2 {
+		t.Fatalf("cache holds %d blocks, want 2 under a 2-block byte budget", got)
+	}
+	if got := cache.Bytes(); got != 2*per {
+		t.Fatalf("cache accounts %d bytes, want %d", got, 2*per)
+	}
+	// A budget smaller than a single block still retains the newest entry.
+	cache.SetMaxBytes(per - 1)
+	cache.BlockGram([]int{5})
+	if got := cache.Len(); got != 1 {
+		t.Fatalf("cache holds %d blocks, want 1 (newest always retained)", got)
+	}
+}
+
+// Eviction must never change the bytes of an assembled Gram: a cache that
+// evicts constantly and an unbounded cache assemble bit-identical matrices
+// for every candidate, including candidates whose blocks were evicted and
+// recomputed.
+func TestBlockGramCacheEvictionBitIdentical(t *testing.T) {
+	x := randomRows(14, 6, 10)
+	factory := RBFFactory(1.0)
+	unbounded := NewBlockGramCache(x, factory, 0)
+	tight := NewBlockGramCache(x, factory, 2) // forces eviction on nearly every candidate
+	tight.SetMaxBytes(int64(14*14) * 8)       // and a one-block byte budget on top
+	parts := partition.All(6)[:40]
+	for pass := 0; pass < 2; pass++ { // second pass re-touches evicted blocks
+		for _, p := range parts {
+			want := unbounded.GramForPartition(p, CombineSum, nil)
+			got := tight.GramForPartition(p, CombineSum, nil)
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("pass %d partition %v: entry %d = %v, want %v (bitwise)",
+						pass, p, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+	if tight.Len() > 2 {
+		t.Fatalf("tight cache holds %d blocks, want <= 2", tight.Len())
+	}
+}
+
+// Matrices handed out before an eviction stay valid and unchanged — the
+// cache drops only its own reference.
+func TestBlockGramCacheEvictionKeepsHandedOutBlocks(t *testing.T) {
+	x := randomRows(9, 4, 11)
+	cache := NewBlockGramCache(x, RBFFactory(1.0), 1)
+	g0 := cache.BlockGram([]int{0})
+	snap := append([]float64(nil), g0.Data...)
+	for f := 1; f < 4; f++ {
+		cache.BlockGram([]int{f}) // evicts {0}
+	}
+	for i := range snap {
+		if g0.Data[i] != snap[i] {
+			t.Fatal("evicted block matrix was mutated")
+		}
+	}
+	// Re-requesting the evicted block recomputes it bit-identically.
+	again := cache.BlockGram([]int{0})
+	for i := range snap {
+		if again.Data[i] != snap[i] {
+			t.Fatal("recomputed block differs from original")
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Approximate Gram scoring and the budgeted search mode.
+//
+// Under GramNystrom / GramRFF the evaluator never assembles an n×n Gram per
+// candidate: kernel.ApproxGramCache hands it the concatenated low-rank
+// factor F (n×R, with F·Fᵀ ≈ K and R = Σ per-block ranks), and the
+// objectives run directly on the factor — primal ridge in O(n·R² + R³) per
+// fold and alignment in O(n·R²), versus the exact path's O(n²) assembly
+// plus O(n³) solves. Learners without a primal form materialize K̂ = F·Fᵀ
+// once per candidate and fall back to the standard CV machinery.
+//
+// BudgetedSearch composes two evaluators: the whole lattice is scored with
+// the cheap approximation, then only the top-K surviving candidates are
+// re-scored on the exact evaluator, which also decides the final selection.
+package mkl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/kernelmachine"
+	"repro/internal/linalg"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// GramMode selects the Gram backend of an evaluator.
+type GramMode int
+
+const (
+	// GramExact materializes exact Gram matrices — the PR 2/3
+	// bit-identical reference path and the default.
+	GramExact GramMode = iota
+	// GramNystrom scores on Nyström landmark factors (exact to ≤1e-9 at
+	// full rank; see kernel.ApproxNystrom).
+	GramNystrom
+	// GramRFF scores on random-Fourier-feature factors for RBF blocks
+	// (Nyström fallback elsewhere; see kernel.ApproxRFF).
+	GramRFF
+)
+
+func (m GramMode) String() string {
+	switch m {
+	case GramNystrom:
+		return "nystrom"
+	case GramRFF:
+		return "rff"
+	default:
+		return "exact"
+	}
+}
+
+// DefaultBudgetTopK is the survivor count used when a budgeted search is
+// requested without an explicit K.
+const DefaultBudgetTopK = 8
+
+// ParseGramMode parses the CLI/Fit-option spelling of a Gram backend:
+// "exact", "nystrom", "rff", or "nystrom:256" / "rff:512" with an explicit
+// per-block rank (0 rank selects kernel.DefaultApproxRank).
+func ParseGramMode(s string) (GramMode, int, error) {
+	name, rankStr, hasRank := strings.Cut(s, ":")
+	rank := 0
+	if hasRank {
+		r, err := strconv.Atoi(rankStr)
+		if err != nil || r <= 0 {
+			return GramExact, 0, fmt.Errorf("mkl: invalid gram rank %q (want a positive integer)", rankStr)
+		}
+		rank = r
+	}
+	switch name {
+	case "exact":
+		if hasRank {
+			return GramExact, 0, fmt.Errorf("mkl: gram mode exact takes no rank")
+		}
+		return GramExact, 0, nil
+	case "nystrom":
+		return GramNystrom, rank, nil
+	case "rff":
+		return GramRFF, rank, nil
+	default:
+		return GramExact, 0, fmt.Errorf("mkl: unknown gram mode %q (want exact, nystrom[:rank], or rff[:rank])", name)
+	}
+}
+
+// scoreApprox is the cache-miss scoring body under an approximate GramMode:
+// assemble the candidate's concatenated factor from the shared block-factor
+// cache, then run the objective on it.
+func (e *Evaluator) scoreApprox(p partition.Partition) (float64, error) {
+	f, err := e.approxCache.FactorForPartitionScratch(p, e.cfg.Combiner, e.factorBuf, &e.asm)
+	if err != nil {
+		return 0, err
+	}
+	e.factorBuf = f
+	switch e.cfg.Objective {
+	case KernelAlignment:
+		return e.alignmentFromFactor(f), nil
+	default:
+		if r, ok := e.cfg.Trainer.(kernelmachine.Ridge); ok {
+			return e.cvAccuracyLowRank(f, r)
+		}
+		// No primal form (SVM, perceptron): materialize K̂ = F·Fᵀ once and
+		// reuse the standard CV machinery on the approximate Gram.
+		e.gramBuf = linalg.SyrkInto(e.gramBuf, f)
+		return e.cvAccuracy(e.gramBuf)
+	}
+}
+
+// alignmentFromFactor computes the centered kernel-target alignment of
+// K̂ = F·Fᵀ without materializing K̂: centering K̂ equals centering the
+// columns of F (K̃ = F̃·F̃ᵀ with F̃ = F − 1·mean), ⟨K̃, yyᵀ⟩ = ‖F̃ᵀy‖², and
+// ‖K̃‖_F = ‖F̃ᵀF̃‖_F — so the whole objective costs O(n·R²) for an n×R
+// factor.
+func (e *Evaluator) alignmentFromFactor(f *linalg.Matrix) float64 {
+	n, r := f.Rows, f.Cols
+	e.centerBuf = linalg.Reshape(e.centerBuf, n, r)
+	copy(e.centerBuf.Data, f.Data)
+	// Column-center in place: lrBeta doubles as the column-mean buffer.
+	if cap(e.lrBeta) < r {
+		e.lrBeta = linalg.NewVector(r)
+	}
+	mean := e.lrBeta[:r]
+	for j := range mean {
+		mean[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := e.centerBuf.Data[i*r : (i+1)*r]
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		row := e.centerBuf.Data[i*r : (i+1)*r]
+		for j := range row {
+			row[j] -= mean[j]
+		}
+	}
+	// ⟨K̃, yyᵀ⟩ = ‖F̃ᵀy‖².
+	e.lrRhs = linalg.MulTVecInto(e.lrRhs, e.centerBuf, e.labelVec())
+	kyy := 0.0
+	for _, v := range e.lrRhs {
+		kyy += v * v
+	}
+	// ‖K̃‖_F = ‖F̃ᵀF̃‖_F (same nonzero singular values, squared).
+	e.lrA = linalg.SyrkTInto(e.lrA, e.centerBuf)
+	kk := 0.0
+	for _, v := range e.lrA.Data {
+		kk += v * v
+	}
+	if kk == 0 {
+		return 0
+	}
+	// Mirrors kernel.Alignment: ⟨K̃,yyᵀ⟩ / (‖K̃‖_F · ‖yyᵀ‖_F) with
+	// ‖yyᵀ‖_F = n for ±1 labels.
+	return kyy / (math.Sqrt(kk) * float64(n))
+}
+
+// labelVec returns the dataset labels as a float vector, built once per
+// evaluator.
+func (e *Evaluator) labelVec() linalg.Vector {
+	if e.lrY == nil {
+		e.lrY = linalg.NewVector(e.data.N())
+		for i, v := range e.data.Y {
+			e.lrY[i] = float64(v)
+		}
+	}
+	return e.lrY
+}
+
+// cvAccuracyLowRank runs the evaluator's k-fold CV with a primal ridge on
+// the factor rows: per fold, β = (F_trᵀF_tr + λ'I)⁻¹ F_trᵀy with the same
+// regularization schedule as kernelmachine.Ridge.Train (λ' = λ·n_tr/10,
+// heavier 1 + λ·n_tr fallback), and test scores F_te·β — algebraically the
+// kernel ridge scores on K̂ = F·Fᵀ (push-through identity), at
+// O(n_tr·R² + R³) per fold instead of O(n_tr³). Fold membership comes from
+// the same precomputed plan as the exact paths, so approximate and exact
+// scores are comparable fold-for-fold.
+func (e *Evaluator) cvAccuracyLowRank(f *linalg.Matrix, ridge kernelmachine.Ridge) (float64, error) {
+	lam := ridge.Lambda
+	if lam <= 0 {
+		lam = 1e-2
+	}
+	r := f.Cols
+	if len(e.lrColRuns) != 1 || e.lrColRuns[0].Len != r {
+		e.lrColRuns = []linalg.Run{{Start: 0, Len: r}}
+	}
+	fd := e.folds
+	y := e.labelVec()
+	total := 0.0
+	for fold := range fd.plan.Trains {
+		tr := fd.plan.Trains[fold]
+		nTr := len(tr)
+		e.scratchSub = linalg.GatherInto(e.scratchSub, f, tr, e.lrColRuns)
+		if cap(e.lrRhs) < nTr {
+			e.lrRhs = linalg.NewVector(nTr)
+		}
+		ytr := e.lrRhs[:nTr]
+		for i, a := range tr {
+			ytr[i] = y[a]
+		}
+		beta, err := e.lowRankRidgeSolve(e.scratchSub, ytr, lam)
+		if err != nil {
+			return 0, fmt.Errorf("mkl: fold %d: %w", fold, err)
+		}
+		e.scratchCross = linalg.GatherInto(e.scratchCross, f, fd.plan.Tests[fold], e.lrColRuns)
+		e.scoreBuf = linalg.MulVecInto(e.scoreBuf, e.scratchCross, beta)
+		e.predBuf = kernelmachine.ClassifyInto(e.predBuf, e.scoreBuf)
+		total += stats.Accuracy(e.predBuf, fd.yTest[fold])
+	}
+	return total / float64(len(fd.plan.Trains)), nil
+}
+
+// lowRankRidgeSolve solves (FᵀF + λ'I)β = Fᵀy in the evaluator's low-rank
+// scratch, mirroring Ridge.Train's regularization and fallback schedule.
+func (e *Evaluator) lowRankRidgeSolve(f *linalg.Matrix, y linalg.Vector, lam float64) (linalg.Vector, error) {
+	nTr := f.Rows
+	r := f.Cols
+	e.lrA = linalg.SyrkTInto(e.lrA, f)
+	e.lrA.AddScaledDiag(lam * float64(nTr) / 10)
+	rhs := linalg.MulTVecInto(nil, f, y)
+	if e.lrChol == nil || e.lrChol.Rows != r || e.lrChol.Cols != r {
+		e.lrChol = linalg.NewMatrix(r, r)
+	}
+	if err := linalg.CholeskyInto(e.lrChol, e.lrA); err != nil {
+		// Heavier ridge before giving up, like the dual trainer.
+		e.lrA = linalg.SyrkTInto(e.lrA, f)
+		e.lrA.AddScaledDiag(1 + lam*float64(nTr))
+		if err := linalg.CholeskyInto(e.lrChol, e.lrA); err != nil {
+			return nil, fmt.Errorf("mkl: low-rank ridge solve failed: %w", err)
+		}
+	}
+	e.lrBeta = linalg.SolveCholeskyInto(e.lrBeta, e.lrChol, rhs)
+	return e.lrBeta, nil
+}
+
+// SearchFunc is a lattice-search strategy over one evaluator — the shape of
+// ExhaustiveConeParallel, ChainSearchParallel, etc. as consumed by
+// BudgetedSearch.
+type SearchFunc func(e *Evaluator, seed partition.Partition) (*Result, error)
+
+// BudgetedSearch runs search on the approximate evaluator to score the
+// whole lattice cheaply, then re-scores only the top-K distinct candidates
+// (by approximate score, ties broken by first-evaluation order — canonical
+// at every worker count) on the exact evaluator, which decides the final
+// selection. The returned Result carries the exact scores and trace of the
+// re-scoring phase; Evaluations sums both phases — the cost the budget
+// actually paid.
+//
+// On error (including context cancellation) the partial result accumulated
+// so far is returned alongside the error, matching every other strategy.
+func BudgetedSearch(approx, exact *Evaluator, seed partition.Partition, search SearchFunc, topK int) (*Result, error) {
+	if topK <= 0 {
+		topK = DefaultBudgetTopK
+	}
+	ares, err := search(approx, seed)
+	if err != nil {
+		return ares, err
+	}
+	// Distinct candidates in first-evaluation order (the trace revisits
+	// cache hits, e.g. a greedy climb re-scoring its incumbent).
+	seen := make(map[string]bool, len(ares.Trace))
+	cands := make([]Step, 0, len(ares.Trace))
+	for _, st := range ares.Trace {
+		k := st.Partition.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cands = append(cands, st)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Score > cands[j].Score })
+	if len(cands) > topK {
+		cands = cands[:topK]
+	}
+	start := exact.Calls()
+	res := &Result{Score: -1}
+	for _, st := range cands {
+		s, err := exact.Score(st.Partition)
+		if err != nil {
+			res.Evaluations = ares.Evaluations + exact.Calls() - start
+			return res, err
+		}
+		exact.observe(res, st.Partition, s)
+	}
+	res.Evaluations = ares.Evaluations + exact.Calls() - start
+	return res, nil
+}

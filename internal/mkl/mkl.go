@@ -90,6 +90,25 @@ type Config struct {
 	// search blocks while it runs.
 	Progress func(Event)
 
+	// GramMode selects the Gram backend of the evaluator: GramExact (the
+	// default) materializes full n×n Grams per candidate through the PR 2/3
+	// bit-identical paths; GramNystrom and GramRFF score candidates on
+	// cached low-rank block factors instead (see approx.go), trading a
+	// bounded approximation error for O(n·r) per-candidate cost. The
+	// deployment fit (TrainDeployed / HoldoutAccuracy) always stays exact.
+	GramMode GramMode
+
+	// GramRank is the per-block rank of the approximate modes — the
+	// Nyström landmark count or the RFF feature count. 0 selects
+	// kernel.DefaultApproxRank; ignored under GramExact.
+	GramRank int
+
+	// BudgetTopK, with an approximate GramMode, enables the budgeted
+	// search mode at the core.Fit layer: the lattice is scored with the
+	// cheap approximation and only the top-K survivors are re-scored
+	// exactly (see BudgetedSearch). 0 disables re-scoring.
+	BudgetTopK int
+
 	// ExactGram forces every Gram matrix through the scalar pairwise Eval
 	// path, disabling the vectorized block engine, and pins CV evaluation
 	// to the scalar reference loop (per-element fold gathers, allocating
@@ -166,6 +185,20 @@ type Evaluator struct {
 	// asm is the worker-owned Gram-assembly scratch feeding
 	// kernel.BlockGramCache.GramForPartitionScratch.
 	asm kernel.AssemblyScratch
+
+	// approxCache memoizes per-block low-rank factors under the
+	// approximate Gram modes (nil under GramExact); like gramCache it is
+	// concurrency-safe and shared across the scratch evaluators of a
+	// parallel search. factorBuf is the worker-owned concatenated-factor
+	// assembly buffer, and the lr* fields are the worker-owned scratch of
+	// the low-rank ridge / alignment paths (see approx.go).
+	approxCache *kernel.ApproxGramCache
+	factorBuf   *linalg.Matrix
+	lrA, lrChol *linalg.Matrix
+	lrRhs       linalg.Vector
+	lrBeta      linalg.Vector
+	lrY         linalg.Vector
+	lrColRuns   []linalg.Run
 }
 
 // foldData bundles the precomputed CV split with the per-fold label slices
@@ -186,9 +219,27 @@ func NewEvaluator(d *dataset.Dataset, cfg Config) (*Evaluator, error) {
 	}
 	cfg = cfg.withDefaults()
 	e := &Evaluator{cfg: cfg, data: d, cache: map[string]float64{}}
+	if cfg.GramMode != GramExact {
+		if cfg.ExactGram {
+			return nil, fmt.Errorf("mkl: ExactGram and approximate GramMode are mutually exclusive")
+		}
+		if cfg.Combiner == kernel.CombineProduct {
+			return nil, fmt.Errorf("mkl: approximate Gram modes support CombineSum only (a product of low-rank Grams has no low-rank factor)")
+		}
+		kind := kernel.ApproxNystrom
+		if cfg.GramMode == GramRFF {
+			kind = kernel.ApproxRFF
+		}
+		// The factor cache replaces the exact block cache entirely: no
+		// full Gram is assembled on the approximate path (non-primal
+		// trainers materialize F·Fᵀ from the factor, not from blocks).
+		e.approxCache = kernel.NewApproxGramCache(d.X, cfg.Factory, kind, cfg.GramRank, cfg.Seed, cfg.GramCacheBlocks)
+	}
 	// An explicitly injected cache always wins — GramCacheBlocks only
 	// governs the cache this evaluator would otherwise create for itself.
-	if cfg.GramCache != nil {
+	if e.approxCache != nil {
+		// exact caches stay nil under an approximate mode
+	} else if cfg.GramCache != nil {
 		e.gramCache = cfg.GramCache
 	} else if cfg.GramCacheBlocks >= 0 {
 		e.gramCache = kernel.NewBlockGramCache(d.X, cfg.Factory, cfg.GramCacheBlocks)
@@ -236,7 +287,7 @@ func (e *Evaluator) searchCtx() context.Context {
 // cache, but owns its counters and scratch Gram buffers, so concurrent
 // workers never contend on per-candidate allocations.
 func (e *Evaluator) scratchClone(shared *sharedScores) *Evaluator {
-	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, xm: e.xm, folds: e.folds, ctx: e.ctx}
+	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, approxCache: e.approxCache, xm: e.xm, folds: e.folds, ctx: e.ctx}
 }
 
 // Evaluations returns the number of kernel configurations actually
@@ -284,6 +335,29 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 			return s, nil
 		}
 	}
+	score, err := e.scoreConfig(p)
+	if err != nil {
+		return 0, err
+	}
+	e.evals++
+	if e.cache == nil {
+		e.cache = map[string]float64{}
+	}
+	e.cache[key] = score
+	if e.shared != nil {
+		e.shared.put(key, score)
+	}
+	return score, nil
+}
+
+// scoreConfig computes the objective value of one kernel configuration —
+// the cache-miss body of Score. Approximate Gram modes route through the
+// low-rank factor path (scoreApprox in approx.go); GramExact runs the
+// original full-Gram assembly, bit-identical to the PR 2/3 reference.
+func (e *Evaluator) scoreConfig(p partition.Partition) (float64, error) {
+	if e.approxCache != nil {
+		return e.scoreApprox(p)
+	}
 	var gram *linalg.Matrix
 	if e.gramCache != nil {
 		e.gramBuf = e.gramCache.GramForPartitionScratch(p, e.cfg.Combiner, e.gramBuf, &e.asm)
@@ -304,7 +378,6 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 			}
 		}
 	}
-	var score float64
 	switch e.cfg.Objective {
 	case KernelAlignment:
 		// Center into the evaluator-owned scratch instead of cloning the
@@ -313,23 +386,10 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 		e.centerBuf = linalg.Reshape(e.centerBuf, gram.Rows, gram.Cols)
 		copy(e.centerBuf.Data, gram.Data)
 		kernel.Center(e.centerBuf)
-		score = kernel.Alignment(e.centerBuf, e.data.Y)
+		return kernel.Alignment(e.centerBuf, e.data.Y), nil
 	default:
-		s, err := e.cvAccuracy(gram)
-		if err != nil {
-			return 0, err
-		}
-		score = s
+		return e.cvAccuracy(gram)
 	}
-	e.evals++
-	if e.cache == nil {
-		e.cache = map[string]float64{}
-	}
-	e.cache[key] = score
-	if e.shared != nil {
-		e.shared.put(key, score)
-	}
-	return score, nil
 }
 
 // cvAccuracy runs k-fold CV re-using one precomputed full Gram matrix.

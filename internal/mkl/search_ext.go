@@ -112,6 +112,14 @@ func alignmentOrder(e *Evaluator, feats []int) []int {
 // the vectorized path over the dataset's extracted column block, unless
 // ExactGram forces the pairwise loop.
 func singletonAlignment(e *Evaluator, f int) float64 {
+	if e.approxCache != nil {
+		// Approximate modes rank features on their cached singleton block
+		// factor — the same factors the candidate scores reuse. On a factor
+		// error (degenerate block) fall through to the uncached exact path.
+		if bf, err := e.approxCache.BlockFactor([]int{f - 1}); err == nil {
+			return e.alignmentFromFactor(bf)
+		}
+	}
 	var g *linalg.Matrix
 	if e.gramCache != nil {
 		shared := e.gramCache.BlockGram([]int{f - 1})
