@@ -7,7 +7,7 @@ GO ?= go
 # together.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet fmt staticcheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke load-smoke scale-smoke ci
+.PHONY: all build vet fmt staticcheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke dist-smoke load-smoke scale-smoke ci
 
 all: build
 
@@ -71,6 +71,14 @@ serve-smoke:
 fit-smoke:
 	bash scripts/fit_smoke.sh
 
+# dist-smoke drives the fault-tolerant distributed search end to end: two
+# real search-worker processes, a fit sharded across them with one worker
+# SIGKILLed mid-sweep, then a fit against an all-dead fleet — both must
+# reproduce the committed fit-smoke selection exactly (worker loss costs
+# re-dispatches, never correctness). Mirrors the CI dist-smoke job.
+dist-smoke:
+	bash scripts/dist_smoke.sh
+
 # load-smoke saturates the multi-model server across a live hot-swap: a
 # 16-client fleet hammers a throttled model, the artifact is replaced on
 # disk mid-run, and the test asserts zero dropped admitted requests (every
@@ -122,4 +130,4 @@ bench-json:
 		&& mv BENCH_gram.json.tmp BENCH_gram.json && rm -f $$out
 	@echo "wrote BENCH_gram.json"
 
-ci: build lint test shuffle race bench-smoke serve-smoke fit-smoke load-smoke scale-smoke
+ci: build lint test shuffle race bench-smoke serve-smoke fit-smoke dist-smoke load-smoke scale-smoke

@@ -1,0 +1,46 @@
+// The distributed-search worker subcommand: `iotml search-worker -addr
+// :7600` runs one shard-scoring worker process until SIGINT/SIGTERM. A
+// coordinator (`iotml fit -dist-workers host:port,...`) installs the job
+// — dataset plus evaluator spec, fingerprint-sealed — and dispatches
+// candidate shards; the worker scores them with the same evaluation
+// machinery an in-process fit uses, so scores are bit-identical no matter
+// which process computes them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/distsearch"
+)
+
+// runSearchWorker implements `iotml search-worker`.
+func runSearchWorker(args []string, workers int) error {
+	fs := flag.NewFlagSet("search-worker", flag.ContinueOnError)
+	addr := fs.String("addr", ":7600", "listen address")
+	maxJobs := fs.Int("max-jobs", 0, "installed jobs retained before the oldest is evicted (0 = default 4)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := &distsearch.WorkerServer{Parallelism: workers, MaxJobs: *maxJobs}
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- distsearch.Serve(ctx, *addr, w, ready) }()
+	select {
+	case bound := <-ready:
+		fmt.Printf("search-worker: listening on %s (POST /v1/job, POST /v1/score, GET /v1/healthz)\n", bound)
+	case err := <-errc:
+		return fmt.Errorf("search-worker: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return fmt.Errorf("search-worker: %w", err)
+	}
+	fmt.Println("search-worker: shutdown complete")
+	return nil
+}

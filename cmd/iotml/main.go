@@ -17,6 +17,8 @@
 //	                                       (SIGINT/SIGTERM drains, exits 0)
 //	iotml serve -models dir/ -addr :8080   serve every *.iotml in dir with
 //	                                       hot-reload and per-model routing
+//	iotml search-worker -addr :7600        run a distributed-search worker
+//	                                       (pair with fit -dist-workers)
 //
 // -parallel N bounds total concurrency: `run all` spends the budget across
 // experiments (independent experiments run concurrently, their rows
@@ -135,6 +137,8 @@ func run(args []string) error {
 		return runPredict(args[1:])
 	case "serve":
 		return runServe(args[1:])
+	case "search-worker":
+		return runSearchWorker(args[1:], workers)
 	case "debruijn":
 		n := 3
 		if len(args) > 1 {
@@ -193,6 +197,11 @@ commands:
                      and changed artifacts hot-swap atomically with zero
                      dropped requests; -default picks the legacy-route
                      model, -queue/-global-queue bound load shedding
+  search-worker      run one distributed-search worker on -addr (default
+                     :7600); "fit -dist-workers host:port,..." shards
+                     candidate scoring across such workers with retry,
+                     re-dispatch, and local fallback — the selection is
+                     bit-identical to an in-process fit
 
 flags:
   -parallel N        worker pool size for run all and per-experiment rows

@@ -166,6 +166,9 @@ type progressEvent struct {
 	Best        string  `json:"best"`
 	BestScore   float64 `json:"best_score"`
 	Evaluations int     `json:"evaluations"`
+	// Detail carries the dist-* events' human-readable payload (shard
+	// range, worker address, failure reason); empty otherwise.
+	Detail string `json:"detail,omitempty"`
 }
 
 // progressSink assembles the fit's progress callback from the -v and
@@ -187,6 +190,9 @@ func progressSink(verbose bool, jsonlPath string) (cb func(iotml.Event), cleanup
 			case iotml.EventSearchFinished:
 				fmt.Fprintf(os.Stderr, "fit: search finished: best=%.4f %v after %d evaluations\n",
 					ev.BestScore, ev.Best, ev.Evaluations)
+			case iotml.EventShardDispatched, iotml.EventShardRetried,
+				iotml.EventShardRedispatched, iotml.EventWorkerDown, iotml.EventDistFallback:
+				fmt.Fprintf(os.Stderr, "fit: dist: %s: %s\n", ev.Kind, ev.Detail)
 			}
 		})
 	}
@@ -213,6 +219,7 @@ func progressSink(verbose bool, jsonlPath string) (cb func(iotml.Event), cleanup
 				Best:        ev.Best.String(),
 				BestScore:   ev.BestScore,
 				Evaluations: ev.Evaluations,
+				Detail:      ev.Detail,
 			})
 		})
 		cleanup = func() error {
@@ -262,6 +269,10 @@ func runFit(args []string, workers int) error {
 	folds := fs.Int("folds", 0, "CV folds (0 = default 4)")
 	verbose := fs.Bool("v", false, "stream live search progress to stderr")
 	progressJSONL := fs.String("progress-jsonl", "", "write the progress event stream to this file as JSON lines")
+	distWorkers := fs.String("dist-workers", "", `distribute candidate scoring across search-worker processes: "host:port,host:port"`)
+	distDeadline := fs.Duration("dist-deadline", 0, "per-shard attempt deadline for -dist-workers (0 = default 2m)")
+	distAttempts := fs.Int("dist-attempts", 0, "per-worker tries per shard before the worker is marked down (0 = default 3)")
+	distShard := fs.Int("dist-shard", 0, "candidates per dispatched shard (0 = about two shards per worker per batch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -325,6 +336,39 @@ func runFit(args []string, workers int) error {
 	}
 	if progress != nil {
 		opts = append(opts, iotml.WithProgress(progress))
+	}
+	if *distWorkers != "" {
+		if *budgetTopK > 0 {
+			return fmt.Errorf("fit: -dist-workers does not support -budget-topk")
+		}
+		var fleet []string
+		for _, w := range strings.Split(*distWorkers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				fleet = append(fleet, w)
+			}
+		}
+		if len(fleet) == 0 {
+			return fmt.Errorf("fit: -dist-workers has no worker addresses")
+		}
+		// The spec mirrors the local flags, so a distributed fit and an
+		// in-process fit from the same command line select identically.
+		opts = append(opts, iotml.WithDistributedWorkers(iotml.DistOptions{
+			Workers: fleet,
+			Spec: iotml.DistSpec{
+				Learner:   *learner,
+				SVMC:      *svmC,
+				SVMSeed:   *seed,
+				Kernel:    *kernelKind,
+				Gamma:     *gamma,
+				Combiner:  *combiner,
+				Folds:     *folds,
+				Gram:      *gram,
+				ExactGram: false,
+			},
+			ShardSize: *distShard,
+			Deadline:  *distDeadline,
+			Attempts:  *distAttempts,
+		}))
 	}
 	// Ctrl-C aborts the search at the next candidate boundary; the partial
 	// best-so-far is reported but not persisted.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/distsearch"
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
 	"repro/internal/mkl"
@@ -131,6 +132,39 @@ func WithBudget(topK int) Option {
 // WithGramApprox consumes.
 func ParseGramMode(s string) (GramMode, int, error) { return mkl.ParseGramMode(s) }
 
+// Distributed search: the coordinator/worker types of internal/distsearch.
+type (
+	// DistOptions configures a distributed lattice search: the worker
+	// fleet, the serializable evaluator spec, and the robustness knobs
+	// (per-shard deadline, retry budget, backoff policy).
+	DistOptions = distsearch.Options
+	// DistSpec is the serializable evaluator configuration coordinator
+	// and workers expand identically (plain strings and numbers — the
+	// wire form of the kernel/learner/CV choices).
+	DistSpec = distsearch.Spec
+)
+
+// WithDistributedWorkers distributes candidate scoring across the worker
+// processes in opts.Workers (each running `iotml search-worker`). The
+// evaluator configuration is derived from opts.Spec on both sides of the
+// wire, overriding WithLearner/WithKernelFamily/WithCombiner/WithFolds/
+// WithCVSeed/WithObjective for this fit, so coordinator-local and remote
+// scores agree by construction. The selected partition and score are
+// bit-identical to an in-process fit with the same spec, at every fleet
+// size and under worker failures: dead, hung, or corrupt-result workers
+// are retried with jittered backoff, their shards re-dispatched to live
+// peers, and an exhausted pool degrades to local in-process scoring. An
+// empty worker list leaves the fit fully in-process.
+func WithDistributedWorkers(opts DistOptions) Option {
+	return func(c *core.FitConfig) {
+		if len(opts.Workers) == 0 {
+			c.Dist = nil
+			return
+		}
+		c.Dist = &opts
+	}
+}
+
 // WithConfig replaces the whole accumulated configuration — the escape
 // hatch for callers migrating from the FitConfig struct API. Options after
 // it apply on top.
@@ -225,13 +259,21 @@ type (
 	EventKind = mkl.EventKind
 )
 
-// Progress event kinds.
+// Progress event kinds. The dist-* kinds are emitted only by distributed
+// fits (WithDistributedWorkers) and reflect real-time transport activity —
+// their order and count vary run to run, while the candidate-evaluated
+// stream stays deterministic.
 const (
 	EventSeedSelected       = mkl.EventSeedSelected
 	EventCandidateEvaluated = mkl.EventCandidateEvaluated
 	EventBestImproved       = mkl.EventBestImproved
 	EventSearchFinished     = mkl.EventSearchFinished
 	EventFitFinished        = mkl.EventFitFinished
+	EventShardDispatched    = mkl.EventShardDispatched
+	EventShardRetried       = mkl.EventShardRetried
+	EventShardRedispatched  = mkl.EventShardRedispatched
+	EventWorkerDown         = mkl.EventWorkerDown
+	EventDistFallback       = mkl.EventDistFallback
 )
 
 // Data ingestion: real workloads enter through a declarative Schema.

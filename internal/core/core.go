@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/distsearch"
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
 	"repro/internal/mkl"
@@ -51,6 +52,19 @@ type FitConfig struct {
 	Search SearchStrategy
 	// MKL configures the evaluator (objective, folds, kernels, learner).
 	MKL mkl.Config
+
+	// Dist, when non-nil with a non-empty worker list, distributes
+	// candidate scoring across remote worker processes
+	// (internal/distsearch). The evaluator configuration is then derived
+	// from Dist.Spec — the serializable form coordinator and workers
+	// expand identically — overriding MKL's Factory/Trainer/Combiner/
+	// Folds/Seed/Objective/Gram fields (Parallelism, Progress, and the
+	// Gram cache bound are kept: they are local orchestration, not
+	// scoring semantics). Selection is bit-identical to the in-process
+	// strategies; dead or hung workers are retried, re-dispatched, and
+	// ultimately replaced by local in-process scoring, so a fit never
+	// fails because its fleet did.
+	Dist *distsearch.Options
 }
 
 // SearchStrategy selects how the partition lattice is explored.
@@ -165,6 +179,20 @@ func Fit(ctx context.Context, d *dataset.Dataset, cfg FitConfig) (*FitResult, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	distributed := cfg.Dist != nil && len(cfg.Dist.Workers) > 0
+	if distributed {
+		if cfg.MKL.BudgetTopK > 0 {
+			return nil, fmt.Errorf("core: the distributed search does not support budgeted re-scoring (WithBudget)")
+		}
+		distCfg, derr := cfg.Dist.Spec.Config()
+		if derr != nil {
+			return nil, fmt.Errorf("core: %w", derr)
+		}
+		distCfg.Parallelism = cfg.MKL.Parallelism
+		distCfg.Progress = cfg.MKL.Progress
+		distCfg.GramCacheBlocks = cfg.MKL.GramCacheBlocks
+		cfg.MKL = distCfg
+	}
 	seed, attrs, err := mkl.SeedFromRoughSet(d, cfg.DiscretizeBins, cfg.SeedMaxK, cfg.SeedObjective)
 	if err != nil {
 		return nil, fmt.Errorf("core: seeding: %w", err)
@@ -198,6 +226,35 @@ func Fit(ctx context.Context, d *dataset.Dataset, cfg FitConfig) (*FitResult, er
 	default:
 		search = func(e *mkl.Evaluator, s partition.Partition) (*mkl.Result, error) {
 			return mkl.ChainSearchParallel(e, s, mkl.BestOfChain)
+		}
+	}
+	if distributed {
+		// The distributed strategies mirror the parallel ones shard by
+		// shard: the coordinator scores candidate batches across the
+		// fleet and the reduction stays a canonical-order scan, so the
+		// selection is identical to the in-process strategies.
+		coord, cerr := distsearch.NewCoordinator(d, *cfg.Dist)
+		if cerr != nil {
+			return nil, fmt.Errorf("core: %w", cerr)
+		}
+		coord.SetEmitter(e.EmitDistEvent)
+		switch cfg.Search {
+		case SearchGreedy:
+			search = func(e *mkl.Evaluator, s partition.Partition) (*mkl.Result, error) {
+				return mkl.GreedyRefineWith(e, s, coord)
+			}
+		case SearchExhaustive:
+			search = func(e *mkl.Evaluator, s partition.Partition) (*mkl.Result, error) {
+				return mkl.ExhaustiveConeWith(e, s, coord)
+			}
+		case SearchChainFirstImprovement:
+			search = func(e *mkl.Evaluator, s partition.Partition) (*mkl.Result, error) {
+				return mkl.ChainSearchWith(e, s, mkl.FirstImprovement, coord)
+			}
+		default:
+			search = func(e *mkl.Evaluator, s partition.Partition) (*mkl.Result, error) {
+				return mkl.ChainSearchWith(e, s, mkl.BestOfChain, coord)
+			}
 		}
 	}
 	var res *mkl.Result

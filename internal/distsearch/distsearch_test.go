@@ -1,0 +1,135 @@
+package distsearch
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// testData builds the small faceted workload the distributed tests score:
+// tiny enough that a whole fault matrix stays fast, structured enough
+// that the lattice search has real choices to make.
+func testData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultBiometricConfig()
+	cfg.N = 40
+	d := dataset.SyntheticBiometric(cfg, stats.NewRNG(7))
+	d.Standardize()
+	return d
+}
+
+// TestJobRoundTrip: the wire form must reproduce the dataset bit-for-bit
+// — the foundation of cross-process determinism.
+func TestJobRoundTrip(t *testing.T) {
+	d := testData(t)
+	job, err := NewJob(d, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Verify(); err != nil {
+		t.Fatalf("fresh job fails Verify: %v", err)
+	}
+	got, err := job.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() || got.D() != d.D() {
+		t.Fatalf("round trip shape (%d,%d), want (%d,%d)", got.N(), got.D(), d.N(), d.D())
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if got.X[i][j] != d.X[i][j] {
+				t.Fatalf("X[%d][%d] = %v, want %v (bit-exact)", i, j, got.X[i][j], d.X[i][j])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Y, d.Y) {
+		t.Fatal("labels diverge after round trip")
+	}
+	if !reflect.DeepEqual(got.Views, d.Views) {
+		t.Fatalf("views diverge after round trip: %v vs %v", got.Views, d.Views)
+	}
+}
+
+// TestJobVerifyRejectsTampering: any payload change must break the
+// fingerprint.
+func TestJobVerifyRejectsTampering(t *testing.T) {
+	d := testData(t)
+	job, err := NewJob(d, Spec{Learner: "ridge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Spec.Learner = "svm"
+	if err := job.Verify(); err == nil {
+		t.Fatal("Verify accepted a tampered spec")
+	}
+	job.Spec.Learner = "ridge"
+	job.DatasetCSV = strings.Replace(job.DatasetCSV, "0", "1", 1)
+	if err := job.Verify(); err == nil {
+		t.Fatal("Verify accepted a tampered dataset")
+	}
+}
+
+// TestSpecConfigRejectsUnknown: bad spellings fail loudly, never default
+// silently (a worker running a different config than the coordinator
+// would corrupt the fit undetectably if specs degraded quietly).
+func TestSpecConfigRejectsUnknown(t *testing.T) {
+	for _, s := range []Spec{
+		{Learner: "forest"},
+		{Kernel: "cubic"},
+		{Combiner: "max"},
+		{Objective: "auc"},
+		{Gram: "sketch:9"},
+	} {
+		if _, err := s.Config(); err == nil {
+			t.Fatalf("Spec %+v produced a config, want error", s)
+		}
+	}
+	if _, err := (Spec{}).Config(); err != nil {
+		t.Fatalf("zero Spec must select defaults, got %v", err)
+	}
+}
+
+// TestDecodeCandidate: the wire key round trip and its rejections.
+func TestDecodeCandidate(t *testing.T) {
+	p, err := decodeCandidate("0.1.0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key() != "0.1.0.2" {
+		t.Fatalf("round trip gave %q", p.Key())
+	}
+	for _, bad := range []string{"", "x.y", "0.-1", "0.2.0", "1.0"} {
+		if _, err := decodeCandidate(bad); err == nil {
+			t.Fatalf("decodeCandidate(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestShardBatch: contiguous cover, no overlap, honors ShardSize.
+func TestShardBatch(t *testing.T) {
+	c := &Coordinator{opts: Options{Workers: []string{"a", "b"}, ShardSize: 3}}
+	shards := c.shardBatch(8)
+	want := []shardRange{{0, 3}, {3, 6}, {6, 8}}
+	if !reflect.DeepEqual(shards, want) {
+		t.Fatalf("shardBatch(8) = %v, want %v", shards, want)
+	}
+	c.opts.ShardSize = 0 // auto: about two shards per worker
+	shards = c.shardBatch(8)
+	if got := len(shards); got != 4 {
+		t.Fatalf("auto sharding gave %d shards for 8 candidates × 2 workers, want 4", got)
+	}
+	lo := 0
+	for _, s := range shards {
+		if s.lo != lo || s.hi <= s.lo {
+			t.Fatalf("shards not contiguous: %v", shards)
+		}
+		lo = s.hi
+	}
+	if lo != 8 {
+		t.Fatalf("shards cover [0,%d), want [0,8)", lo)
+	}
+}

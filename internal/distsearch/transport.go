@@ -1,0 +1,118 @@
+// Transport abstracts the coordinator's view of a worker so the fault
+// harness (fault.go) can inject drops, hangs, corruption, and kills at
+// scripted points without a network, while production uses plain HTTP.
+package distsearch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport carries the three protocol verbs to one worker address. Every
+// method observes its context (the coordinator derives per-attempt
+// deadlines from it); errors are retryable unless the coordinator's
+// policy exhausts them. Score returns the worker's fingerprint echo
+// unverified — the coordinator checks it, so a corrupted transport cannot
+// slip mismatched results past the reduction.
+type Transport interface {
+	// Install delivers a job to the worker (idempotent by fingerprint).
+	Install(ctx context.Context, addr string, job *Job) error
+	// Score asks the worker to score one shard under an installed job.
+	// A worker that lost the job (restart) returns errUnknownJob.
+	Score(ctx context.Context, addr string, fingerprint string, keys []string) (scoreResponse, error)
+	// Healthy probes worker liveness.
+	Healthy(ctx context.Context, addr string) error
+}
+
+// HTTPTransport is the production Transport: HTTP+JSON against the
+// worker routes of this package.
+type HTTPTransport struct {
+	// Client, when nil, uses a private client with sane connection reuse.
+	// Per-request deadlines come from the context, never a client
+	// timeout, so one slow shard cannot starve an unrelated retry.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return defaultClient
+}
+
+var defaultClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConnsPerHost: 4,
+	IdleConnTimeout:     90 * time.Second,
+}}
+
+// postJSON round-trips one JSON request/response pair, decoding worker
+// error bodies into Go errors (mapping errCodeUnknownJob to
+// errUnknownJob so the coordinator can re-install).
+func (t *HTTPTransport) postJSON(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("distsearch: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("distsearch: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); jerr == nil && er.Code != "" {
+			if er.Code == errCodeUnknownJob {
+				return errUnknownJob
+			}
+			return fmt.Errorf("distsearch: worker %s: %s (%s)", url, er.Error, er.Code)
+		}
+		return fmt.Errorf("distsearch: worker %s: HTTP %d", url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("distsearch: decoding response from %s: %w", url, err)
+	}
+	return nil
+}
+
+func (t *HTTPTransport) Install(ctx context.Context, addr string, job *Job) error {
+	return t.postJSON(ctx, "http://"+addr+"/v1/job", job, nil)
+}
+
+func (t *HTTPTransport) Score(ctx context.Context, addr string, fingerprint string, keys []string) (scoreResponse, error) {
+	var out scoreResponse
+	err := t.postJSON(ctx, "http://"+addr+"/v1/score", scoreRequest{Fingerprint: fingerprint, Candidates: keys}, &out)
+	return out, err
+}
+
+func (t *HTTPTransport) Healthy(ctx context.Context, addr string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("distsearch: worker %s: healthz HTTP %d", addr, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Distributed counterparts of the lattice-search strategies. Where the
+// *Parallel variants (parallel.go) fan candidates out to an in-process
+// worker pool, the *With variants hand the whole canonical candidate batch
+// to a CandidateScorer — internal/distsearch implements it as a
+// shard-dispatching coordinator over remote worker processes — and reduce
+// the returned scores in canonical candidate order, exactly like their
+// sequential and parallel twins. Because the reduction is a pure
+// index-order scan and remote workers score with the same deterministic
+// evaluation pipeline, the selected partition and score are bit-identical
+// to the sequential strategies no matter how many processes or threads
+// scored the candidates, which worker scored which shard, or which
+// failures were retried along the way.
+//
+// ScoreShard is the other half of the contract: the entry point a worker
+// process uses to score its shard with the existing scratch evaluators
+// (one per local worker thread, Gram buffers reused across candidates).
+package mkl
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/partition"
+)
+
+// CandidateScorer scores a batch of candidate partitions positioned by
+// index. Implementations return scores[i] for cands[i] plus an
+// index-aligned error slice (nil when the whole batch scored clean); a
+// per-candidate error must occupy the candidate's index so the caller's
+// canonical-order reduction can surface it exactly where a sequential
+// search would have failed. ScoreCandidates may be called several times
+// during one search (greedy climbs score one cover batch per step) and
+// must return bit-identical scores for a repeated candidate.
+type CandidateScorer interface {
+	ScoreCandidates(ctx context.Context, cands []partition.Partition) ([]float64, []error)
+}
+
+// ScoreShard scores one shard of the candidate lattice on the evaluator —
+// the worker-process entry point of the distributed search. Candidates are
+// scored with the evaluator's configured parallelism (scratch evaluators,
+// shared Gram-block cache — the exact machinery of the in-process parallel
+// strategies), and the scores come back in candidate order. The first
+// error in canonical candidate order is returned, matching the sequential
+// scan's error choice; scores before it are still valid.
+func ScoreShard(e *Evaluator, cands []partition.Partition) ([]float64, error) {
+	pool := newScorePool(e)
+	scores, errs := pool.scoreAll(cands)
+	pool.finish()
+	for i := range cands {
+		if err := errAt(errs, i); err != nil {
+			return scores, err
+		}
+	}
+	return scores, nil
+}
+
+// record enters one remotely computed candidate score into the evaluator's
+// cache and counters as if Score had computed it locally: one call, one
+// evaluation (remote scores are always cache misses — scoreVia consults
+// the cache first), and the score is memoized for later visits.
+func (e *Evaluator) record(p partition.Partition, s float64) {
+	e.calls++
+	e.evals++
+	if e.cache == nil {
+		e.cache = map[string]float64{}
+	}
+	e.cache[p.Key()] = s
+}
+
+// scoreVia evaluates cands through sc, consulting the evaluator's score
+// cache first so already-scored configurations (a greedy climb re-visiting
+// its incumbent's covers) never travel over the wire. Scores are returned
+// in candidate order alongside an index-aligned error slice (nil when
+// clean), mirroring scorePool.scoreAll's contract so the same reductions
+// apply. Duplicate candidates inside one batch are dispatched once.
+func (e *Evaluator) scoreVia(sc CandidateScorer, cands []partition.Partition) ([]float64, []error) {
+	scores := make([]float64, len(cands))
+	var errs []error
+	noteErr := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(cands))
+		}
+		errs[i] = err
+	}
+	if err := e.searchCtx().Err(); err != nil {
+		for i := range cands {
+			noteErr(i, err)
+		}
+		return scores, errs
+	}
+	// Collect the cache misses, deduplicated by canonical key.
+	missAt := make(map[string]int, len(cands)) // key → index into miss slices
+	var miss []partition.Partition
+	for _, p := range cands {
+		key := p.Key()
+		if _, ok := e.cache[key]; ok {
+			continue
+		}
+		if _, ok := missAt[key]; ok {
+			continue
+		}
+		missAt[key] = len(miss)
+		miss = append(miss, p)
+	}
+	var dScores []float64
+	var dErrs []error
+	if len(miss) > 0 {
+		dScores, dErrs = sc.ScoreCandidates(e.searchCtx(), miss)
+	}
+	recorded := make(map[string]bool, len(miss))
+	for i, p := range cands {
+		key := p.Key()
+		if s, ok := e.cache[key]; ok {
+			e.calls++ // cache hit, like Score
+			scores[i] = s
+			continue
+		}
+		mi := missAt[key]
+		if err := errAt(dErrs, mi); err != nil {
+			noteErr(i, err)
+			continue
+		}
+		s := dScores[mi]
+		if !recorded[key] {
+			recorded[key] = true
+			e.record(p, s)
+		} else {
+			e.calls++ // duplicate within the batch: second visit is a hit
+		}
+		scores[i] = s
+	}
+	return scores, errs
+}
+
+// ExhaustiveConeWith is ExhaustiveCone with the Bell(m) candidate cone
+// scored through sc. The selected partition, score, and trace order are
+// bit-identical to ExhaustiveCone.
+func ExhaustiveConeWith(e *Evaluator, seed partition.Partition, sc CandidateScorer) (*Result, error) {
+	freeBlock, freeElems := freeBlockOf(seed)
+	m := len(freeElems)
+	start := e.Calls()
+	var subs []partition.Partition
+	if m == 1 {
+		subs = []partition.Partition{partition.Finest(1)}
+	} else {
+		subs = partition.All(m)
+	}
+	cands := make([]partition.Partition, len(subs))
+	for i, q := range subs {
+		cands[i] = coneToFull(seed, freeBlock, freeElems, q)
+	}
+	scores, errs := e.scoreVia(sc, cands)
+	res := &Result{Score: -1}
+	err := reduceBest(e, res, cands, scores, errs)
+	res.Evaluations = e.Calls() - start
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// ChainSearchWith is ChainSearch with the chain's partitions scored
+// through sc. Like ChainSearchParallel, under FirstImprovement the full
+// chain is scored speculatively (the chain is only m long) and the
+// first-improvement stop applies during the canonical reduction, so the
+// selection is bit-identical to the sequential walk even though
+// Result.Evaluations may exceed the sequential count.
+func ChainSearchWith(e *Evaluator, seed partition.Partition, rule AscentRule, sc CandidateScorer) (*Result, error) {
+	freeBlock, freeElems := freeBlockOf(seed)
+	m := len(freeElems)
+	start := e.Calls()
+
+	ordered := alignmentOrder(e, freeElems)
+	chain := principalChain(m)
+	cands := make([]partition.Partition, len(chain))
+	for i, q := range chain {
+		cands[i] = coneToFull(seed, freeBlock, ordered, q)
+	}
+	scores, errs := e.scoreVia(sc, cands)
+	res := &Result{Score: -1}
+	for i, s := range scores {
+		if err := errAt(errs, i); err != nil {
+			res.Evaluations = e.Calls() - start
+			return res, err
+		}
+		if !e.observe(res, cands[i], s) && rule == FirstImprovement && i > 0 {
+			break
+		}
+	}
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// GreedyRefineWith is GreedyRefine with each hill-climbing step's lower
+// covers scored through sc — the whole cover set of a step travels as one
+// batch (distributed dispatch amortizes over shards, so the chunked
+// speculation of GreedyRefineParallel is unnecessary). Within a step the
+// climb takes the same first-improvement move as GreedyRefine (the
+// earliest cover in canonical order that improves), so the final
+// partition, score, and trace are bit-identical; Result.Evaluations may
+// exceed the sequential count by at most one cover set per step.
+func GreedyRefineWith(e *Evaluator, seed partition.Partition, sc CandidateScorer) (*Result, error) {
+	start := e.Calls()
+	seedScores, seedErrs := e.scoreVia(sc, []partition.Partition{seed})
+	if err := errAt(seedErrs, 0); err != nil {
+		return &Result{Score: -1, Evaluations: e.Calls() - start}, err
+	}
+	cur, curScore := seed, seedScores[0]
+	res := &Result{Best: cur, Score: curScore, Trace: []Step{{cur, curScore}}}
+	e.emit(EventCandidateEvaluated, cur, curScore, res)
+	for {
+		cands := cur.LowerCovers()
+		if len(cands) == 0 {
+			break
+		}
+		scores, errs := e.scoreVia(sc, cands)
+		improved := false
+		for i, s := range scores {
+			if err := errAt(errs, i); err != nil {
+				res.Best, res.Score = cur, curScore
+				res.Evaluations = e.Calls() - start
+				return res, err
+			}
+			res.Trace = append(res.Trace, Step{cands[i], s})
+			// Advance the incumbent before emitting, so the candidate event
+			// carries the post-event best (the Event contract).
+			if s > curScore+1e-12 {
+				cur, curScore = cands[i], s
+				res.Best, res.Score = cur, curScore
+				improved = true
+			}
+			e.emit(EventCandidateEvaluated, cands[i], s, res)
+			if improved {
+				e.emit(EventBestImproved, cands[i], s, res)
+				break // first-improvement descent, in canonical cover order
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.Best = cur
+	res.Score = curScore
+	res.Evaluations = e.Calls() - start
+	return res, nil
+}
+
+// EmitDistEvent delivers one coordinator progress event (shard dispatch,
+// retry, re-dispatch, worker loss, fallback) to the configured progress
+// callback. The coordinator serializes calls, so the callback keeps its
+// no-synchronization contract; without a callback this is free.
+func (e *Evaluator) EmitDistEvent(kind EventKind, detail string) {
+	fn := e.cfg.Progress
+	if fn == nil {
+		return
+	}
+	fn(Event{Kind: kind, Time: time.Now(), Detail: detail})
+}

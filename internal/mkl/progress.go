@@ -32,6 +32,29 @@ const (
 	EventSearchFinished
 	// EventFitFinished marks the end of the whole fit.
 	EventFitFinished
+
+	// The dist-* kinds report the distributed coordinator's shard
+	// lifecycle (internal/distsearch): dispatches, retries, re-dispatches
+	// after a worker loss, and the local-scoring fallback. Unlike the
+	// candidate events above they reflect real-time transport activity, so
+	// their order and count vary run to run (retries depend on which
+	// worker died when); the candidate-evaluated stream they surround
+	// stays deterministic. Each carries a human-readable Detail line.
+
+	// EventShardDispatched reports one shard handed to a worker.
+	EventShardDispatched
+	// EventShardRetried reports a failed shard attempt about to be retried
+	// on the same worker after a backoff.
+	EventShardRetried
+	// EventShardRedispatched reports a dead worker's shard re-queued for a
+	// live peer.
+	EventShardRedispatched
+	// EventWorkerDown reports a worker marked dead (unreachable, hung past
+	// its deadline, or returning mismatched results after retries).
+	EventWorkerDown
+	// EventDistFallback reports the worker pool exhausted: remaining
+	// shards are scored locally in-process.
+	EventDistFallback
 )
 
 // String returns the stable machine-readable name of the kind (used by the
@@ -48,6 +71,16 @@ func (k EventKind) String() string {
 		return "search-finished"
 	case EventFitFinished:
 		return "fit-finished"
+	case EventShardDispatched:
+		return "shard-dispatched"
+	case EventShardRetried:
+		return "shard-retried"
+	case EventShardRedispatched:
+		return "shard-redispatched"
+	case EventWorkerDown:
+		return "worker-down"
+	case EventDistFallback:
+		return "dist-fallback"
 	}
 	return fmt.Sprintf("event-%d", int(k))
 }
@@ -71,6 +104,10 @@ type Event struct {
 	BestScore float64
 	// Evaluations counts the candidates evaluated so far in this search.
 	Evaluations int
+	// Detail carries the human-readable payload of the dist-* events
+	// (shard range, worker address, failure reason); empty on the
+	// deterministic candidate events.
+	Detail string
 }
 
 // emit delivers one event to the configured progress callback, stamping the

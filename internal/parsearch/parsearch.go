@@ -17,6 +17,10 @@
 //     hide further errors, so callers needing error reports bit-identical
 //     to a sequential scan should record errors per candidate themselves
 //     and scan in index order (internal/mkl does exactly that).
+//   - A panic in a score/fn callback is recovered into a *PanicError and
+//     follows the same error path: the pool drains cleanly, no goroutine
+//     leaks, and the caller sees the lowest-indexed failure instead of a
+//     crashed process.
 //
 // # Cancellation
 //
@@ -35,10 +39,39 @@ package parsearch
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error a recovered panic in a score/fn callback turns
+// into: the pool must never let one panicking candidate take down the whole
+// process (a distributed worker serving shards, a long fit) when every
+// other candidate evaluated cleanly. It carries the panicking candidate's
+// index, the recovered value, and the goroutine stack at recovery time.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parsearch: panic evaluating candidate %d: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// safeScore invokes score, converting a panic into a *PanicError so the
+// pool's normal error path (lowest-index wins, workers drain, no goroutine
+// leak) applies to panicking callbacks exactly as to failing ones.
+func safeScore(score func(worker, index int) (float64, error), worker, index int) (s float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: index, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return score(worker, index)
+}
 
 // Workers normalizes a requested parallelism degree: values <= 0 select
 // runtime.GOMAXPROCS(0), everything else is returned unchanged.
@@ -88,7 +121,7 @@ func RunContext(ctx context.Context, n, workers int, score func(worker, index in
 			if err := ctx.Err(); err != nil {
 				return scores, err
 			}
-			s, err := score(0, i)
+			s, err := safeScore(score, 0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +144,7 @@ func RunContext(ctx context.Context, n, workers int, score func(worker, index in
 				if i >= n {
 					return
 				}
-				s, err := score(worker, i)
+				s, err := safeScore(score, worker, i)
 				if err != nil {
 					errs[i] = err
 					failed.Store(1)

@@ -1,0 +1,104 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelayGrowsAndCaps pins the exponential schedule: each attempt's
+// pre-jitter delay doubles from Base until Max, and jitter stays within the
+// ±Jitter band.
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0.2}
+	rng := rand.New(rand.NewSource(1))
+	want := []time.Duration{10, 20, 40, 80, 80, 80} // ms, pre-jitter
+	for a, wms := range want {
+		d := p.Delay(a, rng)
+		lo := time.Duration(float64(wms*time.Millisecond) * 0.8)
+		hi := time.Duration(float64(wms*time.Millisecond) * 1.2)
+		if d < lo || d > hi {
+			t.Fatalf("Delay(%d) = %v, want within [%v, %v]", a, d, lo, hi)
+		}
+	}
+}
+
+// TestDelayDeterministicWithSeededRNG: the distributed fault tests rely on
+// reproducible schedules from a seeded source.
+func TestDelayDeterministicWithSeededRNG(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: time.Second}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 10; i++ {
+		if da, db := p.Delay(i, a), p.Delay(i, b); da != db {
+			t.Fatalf("attempt %d: %v != %v with identical seeds", i, da, db)
+		}
+	}
+}
+
+// TestDoRetriesUntilSuccess: fn failing twice then succeeding yields nil
+// after exactly three calls.
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond, Jitter: 1e-9}
+	calls := 0
+	err := Do(context.Background(), 5, p, nil, func(a int) error {
+		if a != calls {
+			t.Fatalf("attempt number %d, want %d", a, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+// TestDoExhaustsAttempts: the last failure's error surfaces.
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond, Jitter: 1e-9}
+	want := errors.New("persistent")
+	calls := 0
+	err := Do(context.Background(), 3, p, nil, func(int) error { calls++; return want })
+	if !errors.Is(err, want) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want %v after 3", err, calls, want)
+	}
+}
+
+// TestDoHonorsContext: cancellation during a backoff sleep stops retrying
+// and reports the in-flight failure rather than hanging.
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Base: time.Hour, Max: time.Hour} // would sleep forever
+	want := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, 3, p, nil, func(int) error { return want })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, want) {
+			t.Fatalf("Do = %v, want %v", err, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+}
+
+// TestDoAlreadyCancelled: a context that is done before the first attempt
+// returns the context error without ever invoking fn.
+func TestDoAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := Do(ctx, 3, Policy{}, nil, func(int) error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) || called {
+		t.Fatalf("Do = %v (called=%v), want context.Canceled without a call", err, called)
+	}
+}

@@ -341,3 +341,63 @@ func TestLoadDirAndIDs(t *testing.T) {
 		t.Fatalf("LoadDir ids = %v", ids)
 	}
 }
+
+// TestWatcherRetriesTransientReadError: a failed poll triggers quick
+// jittered re-scans inside the same interval (counted in reload_retries
+// and exposed through /healthz), so a transient read error heals without
+// waiting out the full cadence — and a good artifact still swaps in.
+func TestWatcherRetriesTransientReadError(t *testing.T) {
+	artA := testArtifactSeed(t, 11)
+	artB := testArtifactSeed(t, 23)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.iotml")
+	saveAtomic(t, artA, path)
+
+	s, err := New(context.Background(), NewRegistry(),
+		WithModelDir(dir), WithReloadInterval(10*time.Millisecond), WithImmediateFlush())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// Corrupt the artifact: every poll now fails, and each failure buys
+	// watchScanRetries quick re-scans.
+	if err := os.WriteFile(path, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.reloadRetries.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("failed poll never retried")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The retry counter is part of the health surface.
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	var hz struct {
+		ReloadRetries int64 `json:"reload_retries"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.ReloadRetries == 0 {
+		t.Fatal("healthz reload_retries still zero after retries happened")
+	}
+
+	// Healing the artifact lets a retry (or the next poll) swap it in.
+	saveAtomic(t, artB, path)
+	q := testQueries(artB.Dim(), 1)
+	wantB := offlineScores(t, artB, q)[0]
+	for {
+		got, err := s.ScoreBatch("m", q)
+		if err == nil && math.Float64bits(got[0]) == math.Float64bits(wantB) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healed artifact never swapped in")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

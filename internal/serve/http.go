@@ -97,6 +97,7 @@ type healthzResponse struct {
 	Pending          int64         `json:"pending"`
 	GlobalQueueDepth int           `json:"global_queue_depth"`
 	ReloadErrors     int64         `json:"reload_errors"`
+	ReloadRetries    int64         `json:"reload_retries"`
 	LastReloadError  string        `json:"last_reload_error,omitempty"`
 	Models           []modelHealth `json:"models"`
 }
@@ -128,6 +129,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Pending:          s.pending.Load(),
 		GlobalQueueDepth: s.cfg.GlobalQueueDepth,
 		ReloadErrors:     s.reloadErrors.Load(),
+		ReloadRetries:    s.reloadRetries.Load(),
 		LastReloadError:  s.lastReloadError(),
 		Models:           models,
 	})
@@ -208,7 +210,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var b strings.Builder
-	renderPrometheus(&b, time.Since(s.start), s.pending.Load(), s.reloadErrors.Load(), s.reg.Snapshot())
+	renderPrometheus(&b, time.Since(s.start), s.pending.Load(), s.reloadErrors.Load(), s.reloadRetries.Load(), s.reg.Snapshot())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))

@@ -128,7 +128,7 @@ var promFamilies = []promMetric{
 // renderPrometheus writes the metrics in the Prometheus text exposition
 // format (version 0.0.4): server-level gauges first, then the per-model
 // counter families with a model label, models in sorted-id order.
-func renderPrometheus(b *strings.Builder, uptime time.Duration, pending int64, reloadErrors int64, perModel map[string]Metrics) {
+func renderPrometheus(b *strings.Builder, uptime time.Duration, pending int64, reloadErrors, reloadRetries int64, perModel map[string]Metrics) {
 	ids := make([]string, 0, len(perModel))
 	for id := range perModel {
 		ids = append(ids, id)
@@ -139,6 +139,7 @@ func renderPrometheus(b *strings.Builder, uptime time.Duration, pending int64, r
 	fmt.Fprintf(b, "# HELP iotml_models Models currently registered.\n# TYPE iotml_models gauge\niotml_models %d\n", len(ids))
 	fmt.Fprintf(b, "# HELP iotml_pending_requests Predict requests currently admitted and not yet answered.\n# TYPE iotml_pending_requests gauge\niotml_pending_requests %d\n", pending)
 	fmt.Fprintf(b, "# HELP iotml_reload_errors_total Artifact reload attempts that failed.\n# TYPE iotml_reload_errors_total counter\niotml_reload_errors_total %d\n", reloadErrors)
+	fmt.Fprintf(b, "# HELP iotml_reload_retries_total Quick jittered re-scans after a failed artifact poll.\n# TYPE iotml_reload_retries_total counter\niotml_reload_retries_total %d\n", reloadRetries)
 	for _, fam := range promFamilies {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind)
 		for _, id := range ids {

@@ -95,9 +95,10 @@ type Server struct {
 	// models — the global saturation gauge.
 	pending atomic.Int64
 
-	reloadErrors atomic.Int64
-	errMu        sync.Mutex
-	lastErr      string
+	reloadErrors  atomic.Int64
+	reloadRetries atomic.Int64
+	errMu         sync.Mutex
+	lastErr       string
 
 	mu       sync.Mutex
 	draining bool

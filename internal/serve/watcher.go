@@ -21,7 +21,12 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/retry"
 )
+
+// watchScanRetries is how many quick jittered retries a failed poll gets
+// before the loop falls back to its steady ReloadInterval cadence.
+const watchScanRetries = 2
 
 // fileStamp is the cheap change detector: a reload is considered only when
 // either field moves.
@@ -106,11 +111,37 @@ func (s *Server) watch(stop, done chan struct{}) {
 		case <-ticker.C:
 			if err := s.scanModelDir(); err != nil {
 				// Keep serving the previous generation; surface the failure
-				// through /healthz and iotml_reload_errors_total and retry
-				// on the next tick.
+				// through /healthz and iotml_reload_errors_total, then make
+				// a few quick jittered retries — a transient read error
+				// (artifact mid-write, filesystem blip) usually heals in
+				// milliseconds, not a full ReloadInterval.
 				s.recordReloadError(err)
+				s.retryScan(stop)
 			}
 		}
+	}
+}
+
+// retryScan re-runs a failed directory scan up to watchScanRetries times
+// on a jittered backoff well inside the poll interval, counting each
+// attempt in reload_retries. It returns early on success or stop; on
+// exhaustion the steady ticker cadence resumes.
+func (s *Server) retryScan(stop chan struct{}) {
+	pol := retry.Policy{Base: s.cfg.ReloadInterval / 8, Max: s.cfg.ReloadInterval}
+	for attempt := 0; attempt < watchScanRetries; attempt++ {
+		t := time.NewTimer(pol.Delay(attempt, nil))
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		s.reloadRetries.Add(1)
+		err := s.scanModelDir()
+		if err == nil {
+			return
+		}
+		s.recordReloadError(err)
 	}
 }
 

@@ -31,27 +31,41 @@ echo "serve-smoke: offline predict"
 "$TMP/iotml" predict -m "$TMP/model.iotml" -in "$FIX/request.json" > "$TMP/predict-batch.json"
 "$TMP/iotml" predict -m "$TMP/model.iotml" -in "$FIX/request-single.json" > "$TMP/predict-single.json"
 
-ADDR="127.0.0.1:${SERVE_SMOKE_PORT:-18321}"
-echo "serve-smoke: starting iotml serve on $ADDR"
-"$TMP/iotml" serve -m "$TMP/model.iotml" -addr "$ADDR" > "$TMP/serve.log" 2>&1 &
-SERVE_PID=$!
-
+# The port walks forward on collision: if the chosen port is already
+# bound (a parallel CI job, a stale server), the bind failure is detected
+# and the next candidate is tried rather than failing the smoke.
+BASE_PORT="${SERVE_SMOKE_PORT:-18321}"
 up=""
-for _ in $(seq 1 100); do
-  if curl -fsS "http://$ADDR/healthz" > "$TMP/healthz.json" 2>/dev/null; then
-    up=1
-    break
-  fi
-  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
-    echo "serve-smoke: server exited early:" >&2
+for try in 0 1 2 3 4; do
+  ADDR="127.0.0.1:$((BASE_PORT + try * 7))"
+  echo "serve-smoke: starting iotml serve on $ADDR"
+  "$TMP/iotml" serve -m "$TMP/model.iotml" -addr "$ADDR" > "$TMP/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" > "$TMP/healthz.json" 2>/dev/null; then
+      up=1
+      break
+    fi
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  [ -n "$up" ] && break
+  if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve-smoke: server did not come up on $ADDR" >&2
     cat "$TMP/serve.log" >&2
     exit 1
   fi
-  sleep 0.1
+  SERVE_PID=""
+  if grep -q 'address already in use' "$TMP/serve.log"; then
+    echo "serve-smoke: $ADDR in use, trying the next port"
+    continue
+  fi
+  echo "serve-smoke: server exited early:" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
 done
 if [ -z "$up" ]; then
-  echo "serve-smoke: server did not come up on $ADDR" >&2
-  cat "$TMP/serve.log" >&2
+  echo "serve-smoke: no free port after 5 tries from $BASE_PORT" >&2
   exit 1
 fi
 
