@@ -123,7 +123,7 @@ BENCHJSON_FLAGS ?=
 # (CI runs it as its own step).
 bench-json:
 	@out=$$(mktemp); \
-	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkGramApprox_|BenchmarkParallel_|BenchmarkScore_|BenchmarkFit_|BenchmarkServe_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
+	if ! $(GO) test -bench='^(BenchmarkGram_|BenchmarkGramApprox_|BenchmarkBackend_|BenchmarkParallel_|BenchmarkScore_|BenchmarkFit_|BenchmarkServe_)' -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > $$out; then \
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
 	$(GO) run ./cmd/benchjson -baseline BENCH_gram.json -threshold 0.20 $(BENCHJSON_FLAGS) < $$out > BENCH_gram.json.tmp \

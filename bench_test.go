@@ -15,6 +15,7 @@ import (
 	"repro/internal/combinat"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
@@ -752,6 +753,40 @@ func benchGramApproxCone(b *testing.B, n int, mode mkl.GramMode, rank int) {
 		}
 	}
 }
+
+// --- numeric backends (ISSUE 9 / ROADMAP item 4) ---
+//
+// BenchmarkBackend_* measures the three numeric backends on the same
+// n=1k 5-feature cone: the exact f64 reference, the f32 fast path (f32
+// storage, f64 accumulation — the headline is F32 beating F64 on memory
+// traffic), and the Nyström approx backend re-mounted behind
+// Config.Backend. Same workload and cone as BenchmarkGramApprox_* so the
+// two suites stay comparable in BENCH_gram.json.
+
+func benchBackendCone(b *testing.B, n int, backend engine.Backend) {
+	d := gramApproxData(n)
+	seed := partition.Coarsest(5)
+	for i := 0; i < b.N; i++ {
+		e, err := mkl.NewEvaluator(d, mkl.Config{
+			Objective: mkl.KernelAlignment, Seed: 1, Parallelism: 1,
+			Backend: backend,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mkl.ExhaustiveCone(e, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluations != 52 { // Bell(5) candidates per cone
+			b.Fatalf("cone evaluated %d candidates, want 52", res.Evaluations)
+		}
+	}
+}
+
+func BenchmarkBackend_F64Cone1k(b *testing.B)    { benchBackendCone(b, 1000, engine.Float64) }
+func BenchmarkBackend_F32Cone1k(b *testing.B)    { benchBackendCone(b, 1000, engine.Float32) }
+func BenchmarkBackend_ApproxCone1k(b *testing.B) { benchBackendCone(b, 1000, engine.Nystrom(32)) }
 
 func BenchmarkGramApprox_Exact1k(b *testing.B) { benchGramApproxCone(b, 1000, mkl.GramExact, 0) }
 func BenchmarkGramApprox_Nystrom1k(b *testing.B) {

@@ -180,9 +180,12 @@ commands:
   fit -o m.iotml     fit a model and save it as a versioned artifact
                      (-workload -n -seed -learner -kernel -combiner -search,
                      or -data train.csv|.jsonl -label -features -views -nan
-                     for real data; -gram nystrom:256 scores candidates on
-                     low-rank factors for large n, -budget-topk 8 re-scores
-                     the top survivors exactly; -v streams live progress,
+                     for real data; -backend exact|f32|nystrom:256|rff:128|auto
+                     picks the numeric backend (f32 halves Gram memory
+                     traffic, nystrom/rff score on low-rank factors for
+                     large n, auto picks from the workload size; -gram is
+                     a deprecated alias), -budget-topk 8 re-scores the top
+                     survivors exactly; -v streams live progress,
                      -progress-jsonl FILE captures the event stream;
                      Ctrl-C aborts at the next candidate; see fit -h)
   predict -m m.iotml score JSON instances offline (reads {"instances": [...]}

@@ -264,8 +264,9 @@ func runFit(args []string, workers int) error {
 	gamma := fs.Float64("gamma", 1.0, "RBF base bandwidth (gamma/|block|)")
 	combiner := fs.String("combiner", "sum", "block combiner: sum|product")
 	search := fs.String("search", "chain", "lattice search: chain|chain-first|greedy|exhaustive")
-	gram := fs.String("gram", "exact", "Gram backend: exact|nystrom[:rank]|rff[:rank], e.g. nystrom:256")
-	budgetTopK := fs.Int("budget-topk", 0, "with an approximate -gram: re-score the top K candidates exactly before selecting (0 = off)")
+	backendSpec := fs.String("backend", "", "numeric backend: exact|f32|nystrom[:rank]|rff[:rank]|auto (auto picks from the workload size)")
+	gram := fs.String("gram", "exact", "deprecated alias of -backend (exact|nystrom[:rank]|rff[:rank])")
+	budgetTopK := fs.Int("budget-topk", 0, "with an approximate backend: re-score the top K candidates exactly before selecting (0 = off)")
 	folds := fs.Int("folds", 0, "CV folds (0 = default 4)")
 	verbose := fs.Bool("v", false, "stream live search progress to stderr")
 	progressJSONL := fs.String("progress-jsonl", "", "write the progress event stream to this file as JSON lines")
@@ -310,8 +311,21 @@ func runFit(args []string, workers int) error {
 	} else if *combiner != "sum" {
 		return fmt.Errorf("fit: unknown combiner %q (sum|product)", *combiner)
 	}
-	gramMode, gramRank, err := iotml.ParseGramMode(*gram)
-	if err != nil {
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if setFlags["backend"] && setFlags["gram"] {
+		return fmt.Errorf("fit: -backend and the deprecated -gram name the same choice; set only one")
+	}
+	spelling := *gram // the deprecated alias, default "exact"
+	if setFlags["backend"] {
+		spelling = *backendSpec
+	}
+	var backend iotml.Backend
+	if spelling == "auto" {
+		// Resolve against the loaded workload so a distributed fleet is
+		// handed a concrete spelling, never "auto".
+		backend = iotml.AutoBackend(d, iotml.CVAccuracy)
+	} else if backend, err = iotml.ParseBackend(spelling); err != nil {
 		return fmt.Errorf("fit: %w", err)
 	}
 	progress, closeSink, err := progressSink(*verbose, *progressJSONL)
@@ -326,13 +340,12 @@ func runFit(args []string, workers int) error {
 		iotml.WithFolds(*folds),
 		iotml.WithParallelism(workers),
 	}
-	if gramMode != iotml.GramExact {
-		opts = append(opts, iotml.WithGramApprox(gramMode, gramRank))
-		if *budgetTopK > 0 {
-			opts = append(opts, iotml.WithBudget(*budgetTopK))
+	opts = append(opts, iotml.WithBackend(backend))
+	if *budgetTopK > 0 {
+		if !backend.IsApprox() {
+			return fmt.Errorf("fit: -budget-topk requires an approximate backend (-backend nystrom[:rank] or rff[:rank])")
 		}
-	} else if *budgetTopK > 0 {
-		return fmt.Errorf("fit: -budget-topk requires an approximate -gram mode")
+		opts = append(opts, iotml.WithBudget(*budgetTopK))
 	}
 	if progress != nil {
 		opts = append(opts, iotml.WithProgress(progress))
@@ -362,7 +375,7 @@ func runFit(args []string, workers int) error {
 				Gamma:     *gamma,
 				Combiner:  *combiner,
 				Folds:     *folds,
-				Gram:      *gram,
+				Backend:   backend.String(),
 				ExactGram: false,
 			},
 			ShardSize: *distShard,

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/distsearch"
+	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
 	"repro/internal/mkl"
@@ -100,6 +101,74 @@ func WithExactGram() Option {
 	return func(c *core.FitConfig) { c.MKL.ExactGram = true }
 }
 
+// Backend selects the numeric backend of the lattice search (see
+// WithBackend): Float64Backend is the bit-identical reference,
+// Float32Backend the f32-storage fast path, NystromBackend/RFFBackend the
+// low-rank approximations. The zero Backend is Float64Backend.
+type Backend = engine.Backend
+
+// Numeric backends for WithBackend.
+var (
+	// Float64Backend is the exact reference backend — the default, and
+	// bit-identical to a fit that never mentions backends.
+	Float64Backend = engine.Float64
+	// Float32Backend stores Grams, Cholesky factors, and coefficients in
+	// float32 while accumulating every inner loop in float64: roughly half
+	// the memory traffic of the scoring loop, with assembled Gram entries
+	// within 1e-4·max(1,|K|) of the reference elementwise and selections
+	// bit-identical across worker counts.
+	Float32Backend = engine.Float32
+)
+
+// NystromBackend returns the Nyström landmark backend with the given
+// per-block rank (0 selects the default, 64) — WithBackend's spelling of
+// WithGramApprox(GramNystrom, rank).
+func NystromBackend(rank int) Backend { return engine.Nystrom(rank) }
+
+// RFFBackend returns the random-Fourier-feature backend with the given
+// per-block rank (0 selects the default, 64) — WithBackend's spelling of
+// WithGramApprox(GramRFF, rank).
+func RFFBackend(rank int) Backend { return engine.RFF(rank) }
+
+// ParseBackend parses the CLI spelling of a backend — "exact", "f32",
+// "nystrom[:rank]", or "rff[:rank]" — into the Backend WithBackend
+// consumes. "auto" is rejected: resolve it with AutoBackend first.
+func ParseBackend(s string) (Backend, error) { return engine.Parse(s) }
+
+// WithBackend selects the numeric backend of the lattice search:
+// Float64Backend (the default; bit-identical to every pre-backend fit),
+// Float32Backend (f32 storage with f64 accumulation — the fast path for
+// mid-sized dense workloads), or NystromBackend/RFFBackend (low-rank
+// factor scoring for large n; combine with WithBudget to re-score top
+// survivors exactly). The deployment fit behind Deploy/Artifact always
+// stays exact float64 whatever backend scored the search. Approximate
+// backends require the (default) sum combiner; Float32Backend and the
+// approximate backends are mutually exclusive with WithExactGram.
+//
+// WithBackend and the deprecated WithGramApprox override each other in
+// option order, last one wins.
+func WithBackend(b Backend) Option {
+	return func(c *core.FitConfig) {
+		c.MKL.Backend = b
+		c.MKL.GramMode, c.MKL.GramRank = GramExact, 0
+	}
+}
+
+// AutoBackend picks a backend from the workload — the one-line selection
+// facade: the exact reference while its O(n²) assembly is cheap, the f32
+// fast path for mid-sized dense workloads, and Nyström factors (rank 256)
+// beyond. The alignment objective stretches the exact backends further
+// than cross-validated accuracy because its per-candidate cost is lower:
+//
+//	objective        Float64      Float32      NystromBackend(256)
+//	KernelAlignment  n ≤ 2048     n ≤ 8192     larger
+//	CVAccuracy       n ≤ 1024     n ≤ 4096     larger
+//
+// Typical use: iotml.Fit(ctx, d, iotml.WithBackend(iotml.AutoBackend(d, iotml.CVAccuracy))).
+func AutoBackend(d *Dataset, obj Objective) Backend {
+	return engine.Auto(d.N(), obj == KernelAlignment)
+}
+
 // WithGramApprox selects an approximate Gram backend for the lattice
 // search: GramNystrom scores candidates on seeded landmark factors (exact
 // to ≤1e-9 at rank = n), GramRFF on random-Fourier-feature factors for RBF
@@ -110,8 +179,15 @@ func WithExactGram() Option {
 // GramExact restores the default bit-identical path. Approximate modes
 // require the (default) sum combiner and are mutually exclusive with
 // WithExactGram.
+//
+// Deprecated: WithGramApprox is thin sugar over WithBackend —
+// WithGramApprox(GramNystrom, r) ≡ WithBackend(NystromBackend(r)) and
+// WithGramApprox(GramRFF, r) ≡ WithBackend(RFFBackend(r)), bit-identically
+// (asserted in CI). It remains for source compatibility; new code should
+// spell the backend.
 func WithGramApprox(mode GramMode, rank int) Option {
 	return func(c *core.FitConfig) {
+		c.MKL.Backend = Backend{}
 		c.MKL.GramMode = mode
 		c.MKL.GramRank = rank
 	}

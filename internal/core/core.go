@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/distsearch"
+	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
 	"repro/internal/mkl"
@@ -257,13 +258,18 @@ func Fit(ctx context.Context, d *dataset.Dataset, cfg FitConfig) (*FitResult, er
 			}
 		}
 	}
+	backend, berr := cfg.MKL.EffectiveBackend()
+	if berr != nil {
+		return nil, fmt.Errorf("core: %w", berr)
+	}
 	var res *mkl.Result
-	if cfg.MKL.GramMode != mkl.GramExact && cfg.MKL.BudgetTopK > 0 {
+	if backend.IsApprox() && cfg.MKL.BudgetTopK > 0 {
 		// Budgeted mode: the approximate evaluator scores the lattice, an
 		// exact twin re-scores the top-K survivors and decides the final
 		// selection. The deployment fit (FitResult.Artifact, Deploy) is
 		// always exact regardless of mode.
 		exactCfg := cfg.MKL
+		exactCfg.Backend = engine.Backend{}
 		exactCfg.GramMode, exactCfg.GramRank = mkl.GramExact, 0
 		// The exact twin runs cache-free: it only ever scores the top-K
 		// survivors, and retaining n×n blocks across them would cost

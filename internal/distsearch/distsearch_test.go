@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -83,6 +84,10 @@ func TestSpecConfigRejectsUnknown(t *testing.T) {
 		{Combiner: "max"},
 		{Objective: "auc"},
 		{Gram: "sketch:9"},
+		{Backend: "sketch"},
+		{Backend: "auto"}, // must be resolved coordinator-side first
+		{Backend: "nystrom:0"},
+		{Backend: "f32:8"},
 	} {
 		if _, err := s.Config(); err == nil {
 			t.Fatalf("Spec %+v produced a config, want error", s)
@@ -90,6 +95,42 @@ func TestSpecConfigRejectsUnknown(t *testing.T) {
 	}
 	if _, err := (Spec{}).Config(); err != nil {
 		t.Fatalf("zero Spec must select defaults, got %v", err)
+	}
+}
+
+// TestSpecBackendSpellings: the Backend field expands to the engine
+// backend the coordinator resolved, and the deprecated Gram spelling
+// expands to the same evaluator configuration (NewEvaluator normalizes
+// the two spellings; a disagreement fails loudly there).
+func TestSpecBackendSpellings(t *testing.T) {
+	cfg, err := Spec{Backend: "f32"}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend != engine.Float32 {
+		t.Fatalf("Backend \"f32\" expanded to %v", cfg.Backend)
+	}
+	cfg, err = Spec{Backend: "nystrom:64"}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend != engine.Nystrom(64) {
+		t.Fatalf("Backend \"nystrom:64\" expanded to %v", cfg.Backend)
+	}
+	legacy, err := Spec{Gram: "nystrom:64"}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := cfg.EffectiveBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := legacy.EffectiveBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != lb {
+		t.Fatalf("Backend and Gram spellings of nystrom:64 resolve to %v vs %v", eb, lb)
 	}
 }
 

@@ -7,9 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/mkl"
 	"repro/internal/partition"
 	"repro/internal/retry"
+	"repro/internal/stats"
 )
 
 // The fault matrix: for every fleet size × evaluator parallelism ×
@@ -370,5 +372,59 @@ func TestWorkerRestartReinstallsJob(t *testing.T) {
 	}
 	if res.Best.N() == 0 {
 		t.Fatal("no selection")
+	}
+}
+
+// TestWorkerDatasetCacheSkipsReingest: the install-time dataset cache is
+// keyed by the dataset-only fingerprint, so repeat jobs over the same data
+// — a re-dispatch after job eviction, or a new fit with a different
+// evaluator spec — skip the CSV round trip. The cache itself evicts
+// oldest-first past MaxJobs.
+func TestWorkerDatasetCacheSkipsReingest(t *testing.T) {
+	d := testData(t)
+	w := &WorkerServer{Parallelism: 1, MaxJobs: 2}
+	install := func(d *dataset.Dataset, spec Spec) {
+		t.Helper()
+		job, err := NewJob(d, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.install(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three specs over one dataset: the first install ingests, the next
+	// two hit the cache even as MaxJobs=2 churns the job table.
+	for i, spec := range []Spec{{CVSeed: 1}, {CVSeed: 2}, {CVSeed: 3}} {
+		install(d, spec)
+		if got := w.DatasetCacheHits(); got != i {
+			t.Fatalf("after install %d: DatasetCacheHits = %d, want %d", i+1, got, i)
+		}
+	}
+	// Re-installing a fingerprint the worker still holds is an idempotent
+	// no-op before the cache is consulted — no extra hit.
+	install(d, Spec{CVSeed: 3})
+	if got := w.DatasetCacheHits(); got != 2 {
+		t.Fatalf("idempotent re-install changed DatasetCacheHits to %d, want 2", got)
+	}
+	// Two fresh datasets fill the cache and evict d's entry; a new spec
+	// over d must miss (re-ingest), not serve stale data.
+	other := func(seed int64) *dataset.Dataset {
+		cfg := dataset.DefaultBiometricConfig()
+		cfg.N = 30
+		od := dataset.SyntheticBiometric(cfg, stats.NewRNG(seed))
+		od.Standardize()
+		return od
+	}
+	install(other(21), Spec{CVSeed: 1})
+	install(other(22), Spec{CVSeed: 1})
+	install(d, Spec{CVSeed: 4})
+	if got := w.DatasetCacheHits(); got != 2 {
+		t.Fatalf("evicted dataset served from cache: DatasetCacheHits = %d, want 2", got)
+	}
+	// And the re-ingested entry is cached again.
+	install(d, Spec{CVSeed: 5})
+	if got := w.DatasetCacheHits(); got != 3 {
+		t.Fatalf("re-ingested dataset not re-cached: DatasetCacheHits = %d, want 3", got)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"hash/crc64"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
 	"repro/internal/mkl"
@@ -61,8 +62,18 @@ type Spec struct {
 	CVSeed int64 `json:"cv_seed,omitempty"`
 	// Objective selects candidate scoring: "cv" (default) or "alignment".
 	Objective string `json:"objective,omitempty"`
+	// Backend selects the numeric backend in CLI spelling: "exact"
+	// (default), "f32", "nystrom[:rank]", or "rff[:rank]". It must be a
+	// concrete spelling — "auto" is resolved against the coordinator's
+	// dataset before the spec is built, so every worker expands the same
+	// backend; unknown spellings fail job install loudly on both sides.
+	Backend string `json:"backend,omitempty"`
 	// Gram selects the Gram backend in CLI spelling: "exact" (default),
 	// "nystrom[:rank]", or "rff[:rank]".
+	//
+	// Deprecated spelling: Backend subsumes it ("nystrom:256" means the
+	// same in either field). Setting both to disagreeing backends fails
+	// evaluator construction loudly.
 	Gram string `json:"gram,omitempty"`
 	// ExactGram forces the scalar pairwise Gram path (strict reproduction
 	// runs).
@@ -122,6 +133,13 @@ func (s Spec) Config() (mkl.Config, error) {
 	default:
 		return cfg, fmt.Errorf("distsearch: unknown objective %q (cv|alignment)", s.Objective)
 	}
+	if s.Backend != "" {
+		b, err := engine.Parse(s.Backend)
+		if err != nil {
+			return cfg, fmt.Errorf("distsearch: %w", err)
+		}
+		cfg.Backend = b
+	}
 	if s.Gram != "" {
 		mode, rank, err := mkl.ParseGramMode(s.Gram)
 		if err != nil {
@@ -179,6 +197,19 @@ func (j *Job) fingerprint() (string, error) {
 	}
 	if err := enc.Encode(j.Spec); err != nil {
 		return "", fmt.Errorf("distsearch: fingerprinting spec: %w", err)
+	}
+	return fmt.Sprintf("crc64:%016x", h.Sum64()), nil
+}
+
+// datasetFingerprint hashes only the dataset payload (CSV bytes plus
+// schema), independent of the Spec — the key of the worker-side dataset
+// cache, so two jobs differing only in evaluator configuration share one
+// ingested dataset instead of re-parsing the CSV.
+func (j *Job) datasetFingerprint() (string, error) {
+	h := crc64.New(crcTable)
+	h.Write([]byte(j.DatasetCSV))
+	if err := json.NewEncoder(h).Encode(j.Schema); err != nil {
+		return "", fmt.Errorf("distsearch: fingerprinting schema: %w", err)
 	}
 	return fmt.Sprintf("crc64:%016x", h.Sum64()), nil
 }

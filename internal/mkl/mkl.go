@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/chains"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/kernelmachine"
 	"repro/internal/linalg"
@@ -90,12 +91,29 @@ type Config struct {
 	// search blocks while it runs.
 	Progress func(Event)
 
+	// Backend selects the numeric backend of the evaluator (see
+	// internal/engine): the zero value — engine.Float64 — is the
+	// bit-identical reference path; engine.Float32 assembles and solves in
+	// f32 storage with f64 accumulation (elementwise tolerance contract
+	// engine.Tol32 vs the reference, bit-identical across worker counts);
+	// engine.Nystrom/engine.RFF score candidates on cached low-rank block
+	// factors (see approx.go). Backend and the deprecated GramMode/GramRank
+	// pair describe the same choice: set one, or keep them consistent —
+	// EffectiveBackend resolves the pair and NewEvaluator fails loudly on
+	// disagreement. The deployment fit (TrainDeployed / HoldoutAccuracy)
+	// always stays exact float64 regardless of backend.
+	Backend engine.Backend
+
 	// GramMode selects the Gram backend of the evaluator: GramExact (the
 	// default) materializes full n×n Grams per candidate through the PR 2/3
 	// bit-identical paths; GramNystrom and GramRFF score candidates on
 	// cached low-rank block factors instead (see approx.go), trading a
 	// bounded approximation error for O(n·r) per-candidate cost. The
 	// deployment fit (TrainDeployed / HoldoutAccuracy) always stays exact.
+	//
+	// Deprecated spelling: GramMode/GramRank are the pre-backend form of
+	// Backend and remain bit-identical sugar for it (GramNystrom ≡
+	// engine.Nystrom(GramRank), GramRFF ≡ engine.RFF(GramRank)).
 	GramMode GramMode
 
 	// GramRank is the per-block rank of the approximate modes — the
@@ -123,6 +141,29 @@ type Config struct {
 	// GramCache is trusted as configured by its creator (set
 	// kernel.BlockGramCache.SetExact yourself).
 	ExactGram bool
+}
+
+// EffectiveBackend resolves the Backend field against the deprecated
+// GramMode/GramRank pair to one concrete engine.Backend: a zero Backend
+// defers to the legacy spelling (so pre-backend configurations behave
+// unchanged), a set Backend wins when the legacy fields are at their
+// defaults, and a genuine disagreement — both set, naming different
+// backends — fails loudly rather than silently preferring either.
+func (c Config) EffectiveBackend() (engine.Backend, error) {
+	legacy := engine.Float64
+	switch c.GramMode {
+	case GramNystrom:
+		legacy = engine.Nystrom(c.GramRank)
+	case GramRFF:
+		legacy = engine.RFF(c.GramRank)
+	}
+	if c.Backend == (engine.Backend{}) {
+		return legacy, nil
+	}
+	if legacy == engine.Float64 || legacy == c.Backend {
+		return c.Backend, nil
+	}
+	return engine.Backend{}, fmt.Errorf("mkl: Config.Backend (%v) and the deprecated GramMode/GramRank (%v) disagree — set one of them", c.Backend, legacy)
 }
 
 func (c Config) withDefaults() Config {
@@ -199,6 +240,18 @@ type Evaluator struct {
 	lrBeta      linalg.Vector
 	lrY         linalg.Vector
 	lrColRuns   []linalg.Run
+
+	// d32 is the Float32 backend's shared per-block f32 Gram cache (nil on
+	// every other backend); the remaining *32 fields are the worker-owned
+	// f32 scratch of that backend — assembled Gram, centering buffer, fold
+	// gathers, assembly scratch, and the ridge factor/solve scratch (see
+	// f32path.go).
+	d32            *engine.Dense32
+	g32            *engine.M32
+	center32       *engine.M32
+	sub32, cross32 *engine.M32
+	sc32           engine.Scratch32
+	solver32       engine.Solver32
 }
 
 // foldData bundles the precomputed CV split with the per-fold label slices
@@ -218,7 +271,32 @@ func NewEvaluator(d *dataset.Dataset, cfg Config) (*Evaluator, error) {
 		return nil, fmt.Errorf("mkl: empty dataset")
 	}
 	cfg = cfg.withDefaults()
+	be, err := cfg.EffectiveBackend()
+	if err != nil {
+		return nil, err
+	}
+	// Normalize both spellings from the resolved backend so the
+	// GramMode-keyed code below — and every scratch clone — sees one
+	// canonical form regardless of which spelling configured it.
+	switch be.Kind {
+	case engine.NystromKind:
+		cfg.GramMode, cfg.GramRank = GramNystrom, be.Rank
+	case engine.RFFKind:
+		cfg.GramMode, cfg.GramRank = GramRFF, be.Rank
+	default:
+		cfg.GramMode, cfg.GramRank = GramExact, 0
+	}
+	cfg.Backend = be
 	e := &Evaluator{cfg: cfg, data: d, cache: map[string]float64{}}
+	if be.Kind == engine.Float32Kind {
+		if cfg.ExactGram {
+			return nil, fmt.Errorf("mkl: ExactGram and the float32 backend are mutually exclusive (ExactGram pins the bit-identical scalar reference)")
+		}
+		// The f32 block cache replaces the exact block cache and the dense
+		// dataset matrix entirely: assembly, centering, fold gathers, and
+		// ridge solves all run in f32 storage (see f32path.go).
+		e.d32 = engine.NewDense32(d.X, cfg.Factory, cfg.GramCacheBlocks)
+	}
 	if cfg.GramMode != GramExact {
 		if cfg.ExactGram {
 			return nil, fmt.Errorf("mkl: ExactGram and approximate GramMode are mutually exclusive")
@@ -237,15 +315,15 @@ func NewEvaluator(d *dataset.Dataset, cfg Config) (*Evaluator, error) {
 	}
 	// An explicitly injected cache always wins — GramCacheBlocks only
 	// governs the cache this evaluator would otherwise create for itself.
-	if e.approxCache != nil {
-		// exact caches stay nil under an approximate mode
+	if e.approxCache != nil || e.d32 != nil {
+		// exact f64 caches stay nil under an approximate or f32 backend
 	} else if cfg.GramCache != nil {
 		e.gramCache = cfg.GramCache
 	} else if cfg.GramCacheBlocks >= 0 {
 		e.gramCache = kernel.NewBlockGramCache(d.X, cfg.Factory, cfg.GramCacheBlocks)
 		e.gramCache.SetExact(cfg.ExactGram)
 	}
-	if e.gramCache == nil && !cfg.ExactGram {
+	if e.gramCache == nil && e.d32 == nil && !cfg.ExactGram {
 		e.xm = d.Matrix()
 	}
 	// The CV fold plan is a pure function of (n, folds, seed) and identical
@@ -287,7 +365,7 @@ func (e *Evaluator) searchCtx() context.Context {
 // cache, but owns its counters and scratch Gram buffers, so concurrent
 // workers never contend on per-candidate allocations.
 func (e *Evaluator) scratchClone(shared *sharedScores) *Evaluator {
-	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, approxCache: e.approxCache, xm: e.xm, folds: e.folds, ctx: e.ctx}
+	return &Evaluator{cfg: e.cfg, data: e.data, shared: shared, gramCache: e.gramCache, approxCache: e.approxCache, d32: e.d32, xm: e.xm, folds: e.folds, ctx: e.ctx}
 }
 
 // Evaluations returns the number of kernel configurations actually
@@ -357,6 +435,9 @@ func (e *Evaluator) Score(p partition.Partition) (float64, error) {
 func (e *Evaluator) scoreConfig(p partition.Partition) (float64, error) {
 	if e.approxCache != nil {
 		return e.scoreApprox(p)
+	}
+	if e.d32 != nil {
+		return e.scoreF32(p)
 	}
 	var gram *linalg.Matrix
 	if e.gramCache != nil {

@@ -33,6 +33,20 @@
 // bit-identical to sequential ones at every worker count (see
 // internal/parsearch for the determinism guarantee).
 //
+// # Numeric backends
+//
+// Candidate scoring is pluggable (internal/engine): WithBackend selects
+// Float64Backend (the default — bit-identical to every pre-backend fit),
+// Float32Backend (f32 storage with f64 accumulation; Gram entries within
+// engine.Tol32 of the reference, selections bit-identical across worker
+// counts), or NystromBackend/RFFBackend (low-rank factor scoring for
+// large n, combinable with WithBudget). AutoBackend(d, objective) picks
+// one from the workload size, and ParseBackend reads the CLI spellings
+// ("exact", "f32", "nystrom:256", "rff:128"). The deployment fit behind
+// Deploy and FitResult.Artifact always retrains in exact float64,
+// whatever backend scored the search. WithGramApprox remains as
+// deprecated sugar over WithBackend and selects bit-identically.
+//
 // The previous entry point, PartitionDrivenMKL(d, FitConfig{...}), remains
 // as a deprecated shim over Fit and selects identical configurations
 // bit-for-bit.
