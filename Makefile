@@ -7,7 +7,16 @@ GO ?= go
 # together.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build vet fmt staticcheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke dist-smoke load-smoke scale-smoke ci
+# Pinned govulncheck release, mirrored by the CI build job; bump both
+# together.
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# The tag-gated smoke suites (load-smoke, scale-smoke) live in _test.go
+# files behind these build tags; every static gate below runs once per tag
+# set so gated code faces the same checks as the default build.
+BUILD_TAGS := loadsmoke scalesmoke
+
+.PHONY: all build vet fmt staticcheck iotml-lint govulncheck lint test shuffle short race bench bench-smoke bench-json serve-smoke fit-smoke dist-smoke load-smoke scale-smoke ci
 
 all: build
 
@@ -16,6 +25,10 @@ build:
 
 vet:
 	$(GO) vet ./...
+	@for t in $(BUILD_TAGS); do \
+		echo "vet -tags $$t"; \
+		$(GO) vet -tags $$t ./... || exit 1; \
+	done
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -27,15 +40,42 @@ fmt:
 
 # staticcheck prefers an installed binary (any dev box with one) and falls
 # back to running the pinned release through the module cache — the exact
-# invocation CI uses, so local and CI findings agree.
+# invocation CI uses, so local and CI findings agree. Runs once per tag set
+# so the tag-gated smoke tests are checked too.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./...; \
+		sc="staticcheck"; \
 	else \
-		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+		sc="$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+	fi; \
+	$$sc ./... || exit 1; \
+	for t in $(BUILD_TAGS); do \
+		echo "staticcheck -tags $$t"; \
+		$$sc -tags $$t ./... || exit 1; \
+	done
+
+# iotml-lint runs the repo's own determinism analyzers (internal/analyzers:
+# seededrand, walltime, maporder, hotpathalloc) over every package, once per
+# tag set so the tag-gated smoke tests face the same determinism contracts.
+iotml-lint:
+	$(GO) run ./cmd/iotml-lint ./...
+	@for t in $(BUILD_TAGS); do \
+		echo "iotml-lint -tags $$t"; \
+		$(GO) run ./cmd/iotml-lint -tags $$t ./... || exit 1; \
+	done
+
+# govulncheck scans the module against the Go vulnerability database. Same
+# pinned-version pattern as staticcheck: prefer an installed binary, fall
+# back to the pinned release CI runs. Needs network for the vuln DB, so it
+# is a CI step and an on-demand local target, not part of `lint`.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; \
 	fi
 
-lint: vet fmt
+lint: vet fmt iotml-lint
 
 test:
 	$(GO) test ./...
@@ -49,8 +89,15 @@ shuffle:
 short:
 	$(GO) test -short ./...
 
+# The deterministic core packages get a full (not -short) race run: their
+# suites pin the bit-identity contracts under concurrency, which is exactly
+# where the race detector earns its keep. The rest of the tree stays on
+# -short so the target finishes in CI time.
+RACE_FULL_PKGS := ./internal/mkl ./internal/parsearch ./internal/distsearch ./internal/engine ./internal/serve
+
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -count=1 $(RACE_FULL_PKGS)
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

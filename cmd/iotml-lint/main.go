@@ -1,0 +1,119 @@
+// Command iotml-lint is the repo's determinism linter: a multichecker over
+// the internal/analyzers suite (seededrand, maporder, walltime,
+// hotpathalloc) that fails the build the moment a source change violates
+// one of the bit-identical contracts the test suite defends after the
+// fact.
+//
+// Usage mirrors go vet:
+//
+//	iotml-lint [-tags loadsmoke] [packages]
+//
+// Packages default to ./... . Test files are analyzed together with
+// production files, so tag-gated suites (-tags loadsmoke, -tags
+// scalesmoke) come under the gate too. Exit status: 0 clean, 1 findings,
+// 2 load or internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("iotml-lint", flag.ExitOnError)
+	tags := fs.String("tags", "", "comma-separated build tags (like go build -tags)")
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: iotml-lint [-tags tag,list] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	all := suite.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg := analyzers.LoadConfig{}
+	if *tags != "" {
+		cfg.Tags = strings.Split(*tags, ",")
+	}
+	pkgs, err := analyzers.Load(cfg, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iotml-lint:", err)
+		return 2
+	}
+	type finding struct {
+		file      string
+		line, col int
+		msg       string
+		analyzer  string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range all {
+			diags, err := analyzers.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iotml-lint:", err)
+				return 2
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{relPath(pos.Filename), pos.Line, pos.Column, d.Message, a.Name})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "iotml-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// relPath renders positions relative to the working directory when
+// possible, matching go vet's output style.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

@@ -33,11 +33,18 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/retry"
 )
 
 func main() {
+	// The CLI edge is the one place wall-clock seeding is wanted: spread
+	// the shared retry-jitter schedule across processes so fleet replicas
+	// don't back off in lockstep. Libraries and tests keep the package's
+	// deterministic default.
+	retry.Seed(time.Now().UnixNano())
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "iotml:", err)
 		os.Exit(1)

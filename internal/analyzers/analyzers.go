@@ -1,0 +1,225 @@
+// Package analyzers is the repo's determinism lint: a small, self-contained
+// static-analysis framework plus shared helpers for the analyzer suite that
+// turns the repo's bit-identical contracts (seeded RNG draws, order-free map
+// reductions, wall-clock-free deterministic paths, zero-alloc hot loops)
+// into compile-time gates enforced by cmd/iotml-lint, `make lint`, and CI.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer / Pass / Diagnostic, `// want` fixture tests under
+// internal/analyzers/antest) but is built on the standard library only:
+// the build environment is hermetic — no module proxy — so instead of
+// depending on x/tools the package carries the minimal surface the suite
+// needs. Porting an analyzer here onto the real go/analysis API is a
+// mechanical rename.
+//
+// # Suppression annotations
+//
+// A diagnostic is suppressed by an allow directive WITH a justification:
+//
+//	//iotml:allow <analyzer> -- <why this occurrence is exempt>
+//
+// placed on the offending line, on the line directly above it, or in the
+// doc comment of the enclosing function (which exempts the whole body).
+// A directive without the ` -- justification` part suppresses nothing, so
+// every exemption in the tree documents its reason.
+//
+// The hotpathalloc analyzer is opt-in per function via a separate marker in
+// the function's doc comment:
+//
+//	//iotml:hotpath
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one lint pass: a named, documented contract plus
+// the function that checks a single package against it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //iotml:allow annotations.
+	Name string
+	// Doc is the contract the analyzer enforces; the first line is the
+	// one-sentence summary `iotml-lint -list` prints.
+	Doc string
+	// Run reports violations on pass via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's syntax. For the merged in-package variant it
+	// includes _test.go files; analyzers that exempt tests must check
+	// IsTestFile per file.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags []Diagnostic
+}
+
+// RunAnalyzer applies a to the loaded package and returns the surviving
+// (non-suppressed) diagnostics in source order.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return pass.diags, nil
+}
+
+// Reportf records a diagnostic at pos unless an //iotml:allow annotation
+// (with justification) covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allowed(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// ImportedPkg returns the import path of the package e names when e is a
+// package-qualifier identifier (the `rand` in rand.Intn), or "".
+func (p *Pass) ImportedPkg(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// FileFor returns the syntax file containing pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// allowed reports whether an //iotml:allow directive with a justification
+// covers pos for this pass's analyzer.
+func (p *Pass) allowed(pos token.Pos) bool {
+	f := p.FileFor(pos)
+	if f == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name, just, ok := parseAllow(c.Text)
+			if !ok || just == "" || name != p.Analyzer.Name {
+				continue
+			}
+			cl := p.Fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	if fd := enclosingFuncDecl(f, pos); fd != nil && fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if name, just, ok := parseAllow(c.Text); ok && just != "" && name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseAllow decodes an `//iotml:allow <analyzer> -- <justification>`
+// directive. ok is false for non-directive comments; justification is ""
+// when the ` -- reason` part is missing (the directive then has no effect).
+func parseAllow(text string) (analyzer, justification string, ok bool) {
+	const prefix = "//iotml:allow "
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	name, just, found := strings.Cut(rest, "--")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", "", false
+	}
+	if !found {
+		return name, "", true
+	}
+	return name, strings.TrimSpace(just), true
+}
+
+// HasDirective reports whether doc contains an `//iotml:<name>` marker
+// (exactly, or followed by a space and free text).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	marker := "//iotml:" + name
+	for _, c := range doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncDecl returns the top-level function declaration whose body
+// spans pos, or nil.
+func enclosingFuncDecl(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// deterministicPkgs names the packages whose selections must be
+// bit-identical across worker counts and process boundaries (the suites
+// ROADMAP PRs 1–9 defend with after-the-fact equivalence tests). The
+// maporder and walltime analyzers scope their contracts to these.
+var deterministicPkgs = map[string]bool{
+	"mkl":        true,
+	"parsearch":  true,
+	"distsearch": true,
+	"kernel":     true,
+	"engine":     true,
+	"core":       true,
+}
+
+// DeterministicPackage reports whether the import path names one of the
+// deterministic packages (matched by path segment, so both
+// "repro/internal/mkl" and an analyzer fixture package "mkl" qualify).
+func DeterministicPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if deterministicPkgs[seg] {
+			return true
+		}
+	}
+	return false
+}

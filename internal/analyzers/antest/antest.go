@@ -1,0 +1,208 @@
+// Package antest runs an analyzer over a fixture package and checks its
+// diagnostics against `// want` annotations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest workflow on the stdlib-only
+// framework in internal/analyzers.
+//
+// A fixture is one directory of Go files (conventionally
+// testdata/src/<pkg> next to the analyzer). Every line that must produce a
+// diagnostic carries a trailing comment with one or more quoted regular
+// expressions:
+//
+//	sum += v // want `map-iteration order`
+//
+// Each want must be matched by a diagnostic on its line and each
+// diagnostic must be claimed by a want, so fixtures pin both the flagged
+// and the allowed forms.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// Run analyzes the fixture package in dir with a and asserts its
+// diagnostics match the fixture's // want annotations. The package is
+// type-checked from source (stdlib imports only), with the directory base
+// name as its import path — name a fixture directory "mkl" to exercise
+// deterministic-package-scoped analyzers, anything else to pin that
+// non-deterministic packages stay unflagged.
+func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analyzers.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+func loadFixture(dir string) (*analyzers.Package, error) {
+	build.Default.CgoEnabled = false
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	path := filepath.Base(dir)
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture: %v", err)
+	}
+	return &analyzers.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+func checkWants(t *testing.T, pkg *analyzers.Package, diags []analyzers.Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, err := parseWants(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				if len(res) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		wants[k][matched] = nil // claimed
+	}
+	var keys []lineKey
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				keys = append(keys, k)
+				break
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted regular expressions from a comment's
+// `// want "re" `re`...` suffix (empty when the comment has none).
+func parseWants(text string) ([]*regexp.Regexp, error) {
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(text[idx+len("// want "):])
+	var out []*regexp.Regexp
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern in %q", text)
+			}
+			raw := rest[:end+2]
+			var err error
+			lit, err = strconv.Unquote(raw)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %v", raw, err)
+			}
+			rest = strings.TrimSpace(rest[end+2:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern in %q", text)
+			}
+			lit = rest[1 : end+1]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted strings: %q", rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

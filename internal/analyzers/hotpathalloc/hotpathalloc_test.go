@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	antest.Run(t, hotpathalloc.Analyzer, "testdata/src/hp")
+}

@@ -1,0 +1,274 @@
+// Package maporder flags map iteration whose body is sensitive to Go's
+// randomized map ordering inside the deterministic packages: appending to
+// an outer slice, non-commutative reductions, best-so-far selections, and
+// ordered output. Such loops must iterate a sorted key slice instead (the
+// append-keys-then-sort idiom is recognized and allowed).
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analyzers.Analyzer{
+	Name: "maporder",
+	Doc: `flags order-sensitive map iteration in the deterministic packages (mkl, parsearch, distsearch, kernel, engine, core)
+
+Go randomizes map iteration order, so a range-over-map whose body
+appends to a slice, folds a non-commutative reduction (float sums,
+string concatenation), updates a best-so-far selection, or writes
+ordered output produces run-dependent results. Iterate a sorted key
+slice instead. Order-free bodies — writes into another map, integer
+counters, slice writes indexed by the loop key, and the
+collect-keys-then-sort idiom — are allowed.`,
+	Run: run,
+}
+
+func run(pass *analyzers.Pass) error {
+	if !analyzers.DeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, f, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody walks one map-range body and reports every order-sensitive
+// effect on state that outlives the loop.
+func checkBody(pass *analyzers.Pass, file *ast.File, rng *ast.RangeStmt) {
+	outside := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End())
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, file, rng, st, outside)
+		case *ast.IncDecStmt:
+			if obj := rootObj(pass, st.X); outside(obj) && !isInteger(pass.Info.TypeOf(st.X)) {
+				pass.Reportf(st.Pos(),
+					"non-commutative update of %s in map-iteration order; iterate a sorted key slice", obj.Name())
+			}
+		case *ast.SendStmt:
+			pass.Reportf(st.Pos(),
+				"channel send in map-iteration order delivers values in a nondeterministic sequence; iterate a sorted key slice")
+		case *ast.CallExpr:
+			checkOrderedOutput(pass, st, outside)
+		}
+		return true
+	})
+}
+
+// checkAssign classifies one assignment inside a map-range body.
+func checkAssign(pass *analyzers.Pass, file *ast.File, rng *ast.RangeStmt, st *ast.AssignStmt, outside func(types.Object) bool) {
+	for i, lhs := range st.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		// s = append(s, ...) grows an ordered collection: flagged unless
+		// the collected slice is sorted after the loop.
+		if rhs := matchingRhs(st, i); rhs != nil {
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+				obj := rootObj(pass, lhs)
+				if outside(obj) && !sortedAfter(pass, file, rng, obj) {
+					pass.Reportf(st.Pos(),
+						"appends to %s in map-iteration order; collect keys, sort them, and range the sorted slice (or sort %s before it is consumed)", obj.Name(), obj.Name())
+				}
+				continue
+			}
+		}
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			bt := pass.Info.TypeOf(idx.X)
+			if bt != nil {
+				if _, isMap := bt.Underlying().(*types.Map); isMap {
+					continue // map[k] = v commutes across iteration orders
+				}
+			}
+			if usesLoopVar(pass, idx.Index, rng) {
+				continue // out[k] = v hits a distinct index per iteration
+			}
+		}
+		obj := rootObj(pass, lhs)
+		if !outside(obj) {
+			continue
+		}
+		switch st.Tok {
+		case token.ASSIGN:
+			pass.Reportf(st.Pos(),
+				"writes %s in map-iteration order — the surviving value depends on nondeterministic ordering; iterate a sorted key slice", obj.Name())
+		case token.DEFINE:
+			// := introduces loop-local names; nothing outlives the loop.
+		default: // op-assign reductions
+			if !isInteger(pass.Info.TypeOf(lhs)) {
+				pass.Reportf(st.Pos(),
+					"non-commutative reduction into %s in map-iteration order (floating-point and string folds are order-sensitive); iterate a sorted key slice", obj.Name())
+			}
+		}
+	}
+}
+
+// checkOrderedOutput flags calls that emit ordered output from inside the
+// loop: fmt printers and Write* methods on an out-of-loop receiver.
+func checkOrderedOutput(pass *analyzers.Pass, call *ast.CallExpr, outside func(types.Object) bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if pass.ImportedPkg(sel.X) == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			pass.Reportf(call.Pos(),
+				"fmt.%s writes ordered output in map-iteration order; iterate a sorted key slice", sel.Sel.Name)
+		}
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if obj := rootObj(pass, sel.X); outside(obj) {
+			pass.Reportf(call.Pos(),
+				"%s.%s writes ordered output in map-iteration order; iterate a sorted key slice", obj.Name(), sel.Sel.Name)
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort call (sort.* or
+// slices.Sort*) after the range loop inside the nearest enclosing
+// function, i.e. the collect-then-sort idiom.
+func sortedAfter(pass *analyzers.Pass, file *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	encl := enclosingFuncBody(file, rng.Pos())
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		switch pass.ImportedPkg(sel.X) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if rootObj(pass, call.Args[0]) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal spanning pos.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos > n.End() {
+			return n == file
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}
+
+// usesLoopVar reports whether expr references the range statement's key or
+// value variable (or anything else declared inside the loop).
+func usesLoopVar(pass *analyzers.Pass, expr ast.Expr, rng *ast.RangeStmt) bool {
+	used := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// rootObj resolves the base identifier of an lvalue-ish expression chain
+// (x, x.f, x[i], *x, combinations) to its object.
+func rootObj(pass *analyzers.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltin(pass *analyzers.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// matchingRhs returns the RHS expression assigned to LHS index i, handling
+// both n:n assignments and 1-per-RHS tuple forms (nil for the latter).
+func matchingRhs(st *ast.AssignStmt, i int) ast.Expr {
+	if len(st.Lhs) == len(st.Rhs) {
+		return st.Rhs[i]
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/maporder"
+)
+
+func TestMapOrderDeterministicPackage(t *testing.T) {
+	antest.Run(t, maporder.Analyzer, "testdata/src/mkl")
+}
+
+func TestMapOrderOtherPackagesExempt(t *testing.T) {
+	antest.Run(t, maporder.Analyzer, "testdata/src/other")
+}

@@ -1,0 +1,140 @@
+// Package mkl is the maporder fixture for a deterministic package (the
+// directory name places it under the contract).
+package mkl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map-iteration order`
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: sorted before use
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatReduce(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `map-iteration order`
+	}
+	return sum
+}
+
+func stringConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `map-iteration order`
+	}
+	return s
+}
+
+func intCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // ok: integer accumulation commutes
+	}
+	return n
+}
+
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // ok: integer accumulation commutes
+	}
+	return total
+}
+
+func selection(m map[string]float64) string {
+	best := ""
+	bestScore := -1.0
+	for k, v := range m {
+		if v > bestScore {
+			best = k      // want `map-iteration order`
+			bestScore = v // want `map-iteration order`
+		}
+	}
+	return best
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // ok: map writes commute
+	}
+	return out
+}
+
+func sliceIndexByKey(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] = v // ok: distinct index per iteration
+	}
+}
+
+func sliceIndexFixed(m map[int]float64, out []float64) {
+	for _, v := range m {
+		out[0] = v // want `map-iteration order`
+	}
+}
+
+func orderedOutput(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `ordered output`
+	}
+}
+
+func builderOutput(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `ordered output`
+	}
+}
+
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `map-iteration order`
+	}
+}
+
+func loopLocalState(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		doubled := v * 2 // ok: loop-local
+		if doubled > last {
+			last = doubled // want `map-iteration order`
+		}
+	}
+	return last
+}
+
+func allowedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //iotml:allow maporder -- consumer sorts before comparing
+	}
+	return out
+}
+
+func sortedKeysLoopIsFine(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: sorted before use
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k] // ok: slice iteration is ordered
+	}
+	return sum
+}

@@ -1,0 +1,20 @@
+// Package other pins that maporder leaves packages outside the
+// deterministic set alone: the same order-sensitive shapes produce no
+// diagnostics here.
+package other
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // ok: not a deterministic package
+	}
+	return out
+}
+
+func floatReduce(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // ok: not a deterministic package
+	}
+	return sum
+}

@@ -1,0 +1,108 @@
+// Package seededrand flags math/rand usage that escapes the repo's
+// seed-threading discipline: draws from the process-global source and RNG
+// constructions seeded from the wall clock. Every search, kernel, and
+// dataset RNG must be parameterized by an explicit seed so selections stay
+// bit-identical across runs, worker counts, and process boundaries.
+package seededrand
+
+import (
+	"go/ast"
+
+	"repro/internal/analyzers"
+)
+
+// Analyzer is the seededrand pass.
+var Analyzer = &analyzers.Analyzer{
+	Name: "seededrand",
+	Doc: `flags math/rand draws from the process-global source and RNG construction seeded from the wall clock
+
+The determinism contract threads every random draw through an explicit
+seed (stats.NewRNG, Config.Seed, per-block seeds). The process-global
+math/rand source is randomly seeded since Go 1.20 and wall-clock seeds
+differ per run, so either one silently breaks bit-identical selections.
+Intentional nondeterminism (serve/retry jitter at the CLI edge) carries
+an //iotml:allow seededrand -- <why> annotation.`,
+	Run: run,
+}
+
+// globalFns are the math/rand (and math/rand/v2) package-level functions
+// that draw from the process-global source.
+var globalFns = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+// ctorFns construct sources or generators from a caller-supplied seed; a
+// wall-clock expression in their arguments defeats the point.
+var ctorFns = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *analyzers.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isRandPkg(pass.ImportedPkg(sel.X)) {
+				return true
+			}
+			name := sel.Sel.Name
+			if globalFns[name] {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global math/rand source; construct a seeded *rand.Rand (e.g. rand.New(rand.NewSource(seed))) so the draw is reproducible", name)
+			}
+			if ctorFns[name] && seededFromWallClock(pass, call) {
+				pass.Reportf(call.Pos(),
+					"rand.%s is seeded from the wall clock (time.Now); thread an explicit seed instead — deterministic in tests, time-seeded only at the CLI edge", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seededFromWallClock reports whether ctor's arguments contain a time.Now
+// call. Arguments that are themselves rand constructors are skipped — the
+// nested constructor reports once at the innermost offender.
+func seededFromWallClock(pass *analyzers.Pass, ctor *ast.CallExpr) bool {
+	found := false
+	for _, arg := range ctor.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				pkg := pass.ImportedPkg(sel.X)
+				if isRandPkg(pkg) && ctorFns[sel.Sel.Name] {
+					return false // inner constructor reports for itself
+				}
+				if pkg == "time" && sel.Sel.Name == "Now" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

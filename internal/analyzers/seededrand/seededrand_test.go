@@ -1,0 +1,16 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	antest.Run(t, seededrand.Analyzer, "testdata/src/a")
+}
+
+func TestSeededRandV2(t *testing.T) {
+	antest.Run(t, seededrand.Analyzer, "testdata/src/v2")
+}

@@ -1,0 +1,55 @@
+// Package a is the seededrand fixture: flagged global-source draws and
+// wall-clock seeds next to the allowed seeded forms.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalSource() int {
+	return rand.Intn(10) // want `process-global`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `process-global`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global`
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock`
+}
+
+func wallClockDirect() rand.Source {
+	return rand.NewSource(int64(time.Now().Nanosecond())) // want `seeded from the wall clock`
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit seed
+}
+
+func seededDerived(seed int64) rand.Source {
+	return rand.NewSource(seed ^ 0x9e3779b9) // ok: explicit seed
+}
+
+func allowedJitter() int {
+	return rand.Intn(3) //iotml:allow seededrand -- retry jitter only; never feeds a selection
+}
+
+func allowedAbove() int {
+	//iotml:allow seededrand -- jitter fan-out at the CLI edge
+	return rand.Intn(3)
+}
+
+func allowWithoutJustificationDoesNotSuppress() int {
+	//iotml:allow seededrand
+	return rand.Int() // want `process-global`
+}
+
+func localNamedRand() int {
+	rand := struct{ n int }{n: 4} // shadowing ident must not confuse resolution
+	return rand.n
+}

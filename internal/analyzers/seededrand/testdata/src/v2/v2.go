@@ -1,0 +1,23 @@
+// Package v2 pins the math/rand/v2 spellings of the seededrand contract.
+package v2
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func globalSource() int {
+	return rand.IntN(10) // want `process-global`
+}
+
+func globalN() int {
+	return rand.N(10) // want `process-global`
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1)) // want `seeded from the wall clock`
+}
+
+func seeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xda942042e4dd58b5)) // ok: explicit seed
+}

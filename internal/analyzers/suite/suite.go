@@ -1,0 +1,23 @@
+// Package suite registers the determinism-lint analyzers cmd/iotml-lint
+// runs. Adding a new analyzer to the gate means adding it here (and a
+// fixture package under the analyzer's testdata/src; see
+// internal/analyzers/README.md).
+package suite
+
+import (
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/hotpathalloc"
+	"repro/internal/analyzers/maporder"
+	"repro/internal/analyzers/seededrand"
+	"repro/internal/analyzers/walltime"
+)
+
+// Analyzers returns the full suite in stable (reporting) order.
+func Analyzers() []*analyzers.Analyzer {
+	return []*analyzers.Analyzer{
+		hotpathalloc.Analyzer,
+		maporder.Analyzer,
+		seededrand.Analyzer,
+		walltime.Analyzer,
+	}
+}

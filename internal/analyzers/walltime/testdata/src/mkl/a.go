@@ -1,0 +1,28 @@
+// Package mkl is the walltime fixture for a deterministic package.
+package mkl
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock`
+}
+
+func timerIsFine(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // ok: timers gate progress, they never enter results
+}
+
+// emit mirrors the repo's progress-event emitters: the timestamp is
+// observability metadata that never feeds a selection.
+//
+//iotml:allow walltime -- progress timestamps are observability-only and never feed a selection
+func emit() time.Time {
+	return time.Now()
+}
+
+func lineAllowed() time.Time {
+	return time.Now() //iotml:allow walltime -- test fixture for line-level allows
+}

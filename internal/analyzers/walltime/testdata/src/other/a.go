@@ -1,0 +1,9 @@
+// Package other pins that walltime leaves packages outside the
+// deterministic set alone.
+package other
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // ok: not a deterministic package
+}

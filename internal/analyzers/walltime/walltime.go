@@ -1,0 +1,58 @@
+// Package walltime flags wall-clock reads (time.Now, time.Since) in the
+// deterministic packages. Search selections, Gram assembly, and shard
+// merges must be pure functions of (dataset, config, seed); a wall-clock
+// read in those paths is either dead weight or a latent source of
+// run-to-run divergence. Progress-event emitters — whose timestamps are
+// observability metadata that never feeds a selection — carry a
+// function-level //iotml:allow walltime annotation.
+package walltime
+
+import (
+	"go/ast"
+
+	"repro/internal/analyzers"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analyzers.Analyzer{
+	Name: "walltime",
+	Doc: `flags time.Now/time.Since in the deterministic packages (mkl, parsearch, distsearch, kernel, engine, core)
+
+Deterministic paths must be reproducible from (dataset, config, seed)
+alone. Timestamps that exist purely for observability (progress events)
+are exempted with //iotml:allow walltime -- <why> on the emitting
+function.`,
+	Run: run,
+}
+
+func run(pass *analyzers.Pass) error {
+	if !analyzers.DeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pass.ImportedPkg(sel.X) != "time" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since":
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in deterministic package %s; results there must be pure functions of (dataset, config, seed) — move the read to the edge or annotate an observability-only emitter with //iotml:allow walltime -- <why>",
+					sel.Sel.Name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

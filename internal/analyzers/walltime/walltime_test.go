@@ -1,0 +1,16 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/antest"
+	"repro/internal/analyzers/walltime"
+)
+
+func TestWallTimeDeterministicPackage(t *testing.T) {
+	antest.Run(t, walltime.Analyzer, "testdata/src/mkl")
+}
+
+func TestWallTimeOtherPackagesExempt(t *testing.T) {
+	antest.Run(t, walltime.Analyzer, "testdata/src/other")
+}

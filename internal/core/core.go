@@ -201,6 +201,7 @@ func Fit(ctx context.Context, d *dataset.Dataset, cfg FitConfig) (*FitResult, er
 	emit := func(kind mkl.EventKind, p partition.Partition, score float64, evals int) {
 		if cfg.MKL.Progress != nil {
 			cfg.MKL.Progress(mkl.Event{
+				//iotml:allow walltime -- event timestamps are observability metadata; they never feed scoring or selection
 				Kind: kind, Time: time.Now(), Partition: p, Score: score,
 				Best: p, BestScore: score, Evaluations: evals,
 			})

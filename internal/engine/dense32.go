@@ -223,6 +223,8 @@ type Scratch32 struct {
 // in partition.Blocks() order with float64 per-entry accumulation —
 // weighted sum with weight 1/numBlocks, or product — mirroring the float64
 // cache's assembly so the two backends differ only by f32 rounding.
+//
+//iotml:hotpath
 func (c *Dense32) GramForPartitionScratch(p partition.Partition, combiner kernel.Combiner, out *M32, sc *Scratch32) *M32 {
 	n := len(c.x)
 	out = Reshape32(out, n, n)

@@ -239,6 +239,8 @@ func (c *BlockGramCache) GramForPartition(p partition.Partition, combiner Combin
 // buffers by an RGS scan that reproduces partition.Blocks() order — block
 // index ascending, elements ascending — and cache lookups use byte-slice
 // keys). It is the per-candidate path of the mkl evaluators.
+//
+//iotml:hotpath
 func (c *BlockGramCache) GramForPartitionScratch(p partition.Partition, combiner Combiner, out *linalg.Matrix, sc *AssemblyScratch) *linalg.Matrix {
 	n := len(c.x)
 	if out == nil || out.Rows != n || out.Cols != n {

@@ -108,12 +108,15 @@ func (m *dualModel) Scores(cross *linalg.Matrix) []float64 {
 // left-to-right order (some callers, e.g. co-training, score against a
 // cross-Gram with trailing extra columns). Both routes are bit-identical to
 // the historical per-element loop.
+//
+//iotml:hotpath
 func (m *dualModel) ScoresInto(dst []float64, cross *linalg.Matrix) []float64 {
 	if cross.Cols < len(m.coeff) {
 		// Historically this fell through to an opaque slice-bounds panic;
 		// fail with the actual shape mismatch instead. (More columns than
 		// coefficients stays legal — co-training scores against cross-Grams
 		// with trailing extra columns.)
+		//iotml:allow hotpathalloc -- cold shape-mismatch panic, never taken in steady state
 		panic(fmt.Sprintf("kernelmachine: cross-Gram has %d columns for %d dual coefficients", cross.Cols, len(m.coeff)))
 	}
 	if m.b == 0 && cross.Cols == len(m.coeff) {

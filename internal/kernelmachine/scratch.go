@@ -81,6 +81,8 @@ func (s *Scratch) finish(coeff []float64, b float64) Model {
 // AddScaledDiag produces), then factored and solved in place with
 // CholeskyInto and SolveCholeskyInto — bit-identical to SolveSPD, including
 // the heavier-ridge fallback.
+//
+//iotml:hotpath
 func (r Ridge) TrainScratch(gram *linalg.Matrix, y []int, s *Scratch) (Model, error) {
 	if err := validate(gram, y); err != nil {
 		return nil, err
@@ -103,6 +105,7 @@ func (r Ridge) TrainScratch(gram *linalg.Matrix, y []int, s *Scratch) (Model, er
 		// Fall back to a heavier ridge before giving up, as Train does.
 		assemble(1 + r.lambda()*float64(n))
 		if err := linalg.CholeskyInto(s.chol, s.kreg); err != nil {
+			//iotml:allow hotpathalloc -- cold double-failure path; formatting happens only when the solve is already abandoned
 			return nil, fmt.Errorf("kernelmachine: ridge solve failed: %w", err)
 		}
 	}
@@ -118,6 +121,8 @@ func (r Ridge) TrainScratch(gram *linalg.Matrix, y []int, s *Scratch) (Model, er
 // examination — streaming the two updated rows of the (symmetric,
 // row-major) Gram matrix instead of walking columns. This is the single
 // SMO implementation; Train wraps it with a private Scratch.
+//
+//iotml:hotpath
 func (s SVM) TrainScratch(gram *linalg.Matrix, y []int, sc *Scratch) (Model, error) {
 	if err := validate(gram, y); err != nil {
 		return nil, err

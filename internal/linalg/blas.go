@@ -22,6 +22,8 @@ import "fmt"
 // reallocating every call. A fresh matrix is returned when m is nil or its
 // capacity is short. The contents after a reshape are unspecified; callers
 // must overwrite every entry they read.
+//
+//iotml:hotpath
 func Reshape(m *Matrix, r, c int) *Matrix {
 	if r < 0 || c < 0 {
 		panic("linalg: negative matrix dimension")
@@ -74,6 +76,8 @@ func RunsOf(idx []int) []Run {
 // sub- and cross-Gram extraction of the CV fast path. Values are read and
 // written verbatim: the gathered entries are bit-identical to a scalar
 // gather of the same indices.
+//
+//iotml:hotpath
 func GatherInto(dst, src *Matrix, rows []int, cols []Run) *Matrix {
 	nc := 0
 	for _, r := range cols {

@@ -170,8 +170,11 @@ func (m *Matrix) MulVec(v Vector) Vector {
 // suffices (a fresh vector is allocated only when it is short), and returns
 // the length-m.Rows result. Each entry accumulates the row dot product
 // left-to-right, bit-identical to MulVec.
+//
+//iotml:hotpath
 func MulVecInto(dst Vector, m *Matrix, v Vector) Vector {
 	if m.Cols != len(v) {
+		//iotml:allow hotpathalloc -- cold shape-mismatch panic, never taken in steady state
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch (%dx%d)*%d", m.Rows, m.Cols, len(v)))
 	}
 	if cap(dst) < m.Rows {
@@ -212,8 +215,11 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 // diagonal, and zeroed strict upper triangle — is bit-identical to the
 // matrix Cholesky returns. l must not alias a. It returns ErrSingular if a
 // pivot falls below tolerance; l's contents are unspecified after an error.
+//
+//iotml:hotpath
 func CholeskyInto(l, a *Matrix) error {
 	if a.Rows != a.Cols {
+		//iotml:allow hotpathalloc -- cold shape-error path, never taken in steady state
 		return fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
@@ -260,6 +266,8 @@ func SolveCholesky(l *Matrix, b Vector) Vector {
 // reallocated otherwise) and returning it. The substitutions run in place
 // over one buffer in an order that never reads an overwritten entry, so the
 // result is bit-identical to SolveCholesky. dst must not alias b.
+//
+//iotml:hotpath
 func SolveCholeskyInto(dst Vector, l *Matrix, b Vector) Vector {
 	n := l.Rows
 	if cap(dst) < n {

@@ -249,6 +249,8 @@ func GreedyRefineWith(e *Evaluator, seed partition.Partition, sc CandidateScorer
 // retry, re-dispatch, worker loss, fallback) to the configured progress
 // callback. The coordinator serializes calls, so the callback keeps its
 // no-synchronization contract; without a callback this is free.
+//
+//iotml:allow walltime -- event timestamps are observability metadata; they never feed scoring or selection
 func (e *Evaluator) EmitDistEvent(kind EventKind, detail string) {
 	fn := e.cfg.Progress
 	if fn == nil {

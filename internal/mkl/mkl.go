@@ -495,6 +495,8 @@ func (e *Evaluator) cvAccuracy(gram *linalg.Matrix) (float64, error) {
 // buffers all persist on the evaluator. Each fold's model aliases the
 // learner scratch and is consumed (scored) before the next fold rewrites it,
 // per the kernelmachine scratch-ownership rules.
+//
+//iotml:hotpath
 func (e *Evaluator) cvAccuracyFast(gram *linalg.Matrix, st kernelmachine.ScratchTrainer) (float64, error) {
 	fd := e.folds
 	if e.kmScratch == nil {
@@ -505,6 +507,7 @@ func (e *Evaluator) cvAccuracyFast(gram *linalg.Matrix, st kernelmachine.Scratch
 		e.scratchSub = linalg.GatherInto(e.scratchSub, gram, fd.plan.Trains[f], fd.plan.TrainRuns[f])
 		model, err := st.TrainScratch(e.scratchSub, fd.yTrain[f], e.kmScratch)
 		if err != nil {
+			//iotml:allow hotpathalloc -- cold fold-failure path; the evaluation is already abandoned when it formats
 			return 0, fmt.Errorf("mkl: fold %d: %w", f, err)
 		}
 		e.scratchCross = linalg.GatherInto(e.scratchCross, gram, fd.plan.Tests[f], fd.plan.TrainRuns[f])
@@ -615,9 +618,14 @@ func SeedFromRoughSet(d *dataset.Dataset, bins, maxK int, obj rough.SeedObjectiv
 	for _, r := range tbl.Rows {
 		counts[r[len(r)-1]]++
 	}
+	vals := make([]string, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
 	bestVal, bestC := "", -1
-	for v, c := range counts {
-		if c > bestC || (c == bestC && v < bestVal) {
+	for _, v := range vals {
+		if c := counts[v]; c > bestC {
 			bestVal, bestC = v, c
 		}
 	}

@@ -113,6 +113,8 @@ type Event struct {
 // emit delivers one event to the configured progress callback, stamping the
 // best-so-far state from res. It is a no-op without a callback, and costs
 // no allocation with one (the Event is passed by value).
+//
+//iotml:allow walltime -- event timestamps are observability metadata; they never feed scoring or selection
 func (e *Evaluator) emit(kind EventKind, p partition.Partition, score float64, res *Result) {
 	fn := e.cfg.Progress
 	if fn == nil {

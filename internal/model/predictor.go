@@ -100,6 +100,8 @@ func (p *Predictor) ScoresInto(dst []float64, rows [][]float64) ([]float64, erro
 // reach a scoring worker). Feeding it unvalidated rows is a contract
 // violation: a wrong-length row corrupts the batch matrix silently and
 // NaN/Inf values propagate into every score of the batch.
+//
+//iotml:hotpath
 func (p *Predictor) ScoresIntoPrevalidated(dst []float64, rows [][]float64) ([]float64, error) {
 	if len(rows) == 0 {
 		return dst[:0], nil

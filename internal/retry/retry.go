@@ -8,7 +8,10 @@
 // the supplied random source, so callers that need reproducible schedules
 // (the distributed fault-injection tests) pass a seeded *rand.Rand and get
 // the same delays every run, while fire-and-forget callers pass nil and
-// share a locked package-level source.
+// share a locked package-level source. That fallback source is itself
+// deterministic (fixed seed) so library and test behavior is reproducible
+// by default; binaries that want per-process jitter spread re-seed it once
+// at startup via Seed — the CLI edge does, from the wall clock.
 package retry
 
 import (
@@ -51,11 +54,24 @@ func (p Policy) withDefaults() Policy {
 }
 
 // pkgRng is the shared fallback randomness for callers that pass a nil rng;
-// rand.Rand is not concurrency-safe, so it hides behind a mutex.
+// rand.Rand is not concurrency-safe, so it hides behind a mutex. The seed
+// is fixed so nil-rng schedules are deterministic unless a binary opts
+// into per-process spread via Seed.
 var (
 	pkgMu  sync.Mutex
-	pkgRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	pkgRng = rand.New(rand.NewSource(1))
 )
+
+// Seed re-seeds the shared fallback jitter source used when a caller
+// passes a nil rng. The package default is deterministic, which is what
+// tests and libraries want; long-running fleets call Seed once at process
+// startup (the iotml CLI seeds from the wall clock) so replicas do not
+// share a jitter schedule and retry in lockstep.
+func Seed(seed int64) {
+	pkgMu.Lock()
+	pkgRng = rand.New(rand.NewSource(seed))
+	pkgMu.Unlock()
+}
 
 func (p Policy) jittered(d time.Duration, rng *rand.Rand) time.Duration {
 	var u float64

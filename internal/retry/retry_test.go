@@ -38,6 +38,40 @@ func TestDelayDeterministicWithSeededRNG(t *testing.T) {
 	}
 }
 
+// TestNilRngFallbackIsSeedable pins the seededrand burn-down fix: the
+// shared nil-rng fallback is deterministic — re-seeding with the same
+// value reproduces the identical jitter schedule — so only a process that
+// explicitly seeds from the clock (the CLI edge) gets per-process spread.
+func TestNilRngFallbackIsSeedable(t *testing.T) {
+	defer Seed(1) // restore the package default for other tests
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second}
+	sample := func(seed int64) []time.Duration {
+		Seed(seed)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = p.Delay(i, nil)
+		}
+		return out
+	}
+	a, b := sample(42), sample(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v != %v after identical Seed(42)", i, a[i], b[i])
+		}
+	}
+	c := sample(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Seed(42) and Seed(43) produced identical schedules; jitter is not seed-driven")
+	}
+}
+
 // TestDoRetriesUntilSuccess: fn failing twice then succeeding yields nil
 // after exactly three calls.
 func TestDoRetriesUntilSuccess(t *testing.T) {
